@@ -1,0 +1,52 @@
+// Ablation: value of dominance pruning (paper §3.2).
+//
+// Runs the addition engine with the Pareto reduction enabled vs disabled.
+// With pruning off, only the beam cap contains list growth; on an
+// unbounded-beam run the list explosion is visible directly. Dominance is
+// exactness-preserving, so the chosen sets should not get better when it
+// is disabled.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace tka;
+
+namespace {
+
+void run_circuit(const std::string& name, int k, size_t beam) {
+  bench::Design d = bench::build_design(name);
+  for (bool dominance : {true, false}) {
+    topk::TopkOptions opt = bench::engine_options(d, k, topk::Mode::kAddition);
+    opt.use_dominance = dominance;
+    opt.beam_cap = beam;
+    Timer t;
+    const topk::TopkResult res = d.engine->run(opt);
+    const double runtime = t.seconds();
+    const double delay = bench::evaluate(d, res.members, topk::Mode::kAddition);
+    std::printf("%-4s k=%2d beam=%3zu dominance=%-3s | delay=%.4f runtime=%7.3fs "
+                "sets=%9zu max_list=%6zu pruned_dom=%9zu\n",
+                name.c_str(), k, beam, dominance ? "on" : "off", delay, runtime,
+                res.stats.sets_generated, res.stats.max_list_size,
+                res.stats.prune.removed_dominated);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: dominance pruning on/off (addition mode)\n\n");
+  const int k = bench::scale() == 0 ? 6 : 10;
+  // Bounded beam: dominance halves the candidate generation downstream
+  // (compare `sets=`), though with a tight beam the beam alone is already
+  // a strong limiter.
+  for (const char* name : {"i1", "i2", "i3"}) run_circuit(name, k, 24);
+  // Unbounded beam on the smallest circuit: this is where dominance is
+  // structural — without it the lists explode to the emergency cap.
+  std::printf("\nUnbounded beam (i1): list growth without dominance\n");
+  run_circuit("i1", 3, 0);
+  std::printf("\nExpected shape: comparable delays; with dominance the "
+              "I-lists stay small (paper §3.2),\nwithout it and without a "
+              "beam they explode (bounded only by the emergency cap).\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation: analytic (closed-form) vs simulation-backed (MNA coupled-RC)
+// noise-pulse characterization, and the false-aggressor prefilter.
+//
+// The paper's engineering decision (§2) is to use the linear framework for
+// runtime; this bench quantifies what that costs in pulse accuracy on real
+// couplings and what the prefilter saves.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "circuit/coupled_rc.hpp"
+#include "common.hpp"
+#include "noise/aggressor_filter.hpp"
+#include "noise/envelope_builder.hpp"
+
+using namespace tka;
+
+int main() {
+  std::printf("Ablation: coupling calculators and false-aggressor filter\n\n");
+
+  // --- Pulse accuracy: analytic vs MNA on every coupling of i1. ---
+  bench::Design d = bench::build_design("i1");
+  noise::SimCouplingCalculator sim(*d.circuit.netlist, d.circuit.parasitics,
+                                   *d.model);
+  const sta::StaResult sta_res =
+      sta::run_sta(*d.circuit.netlist, *d.model, d.circuit.sta_options());
+
+  std::vector<double> ratios;
+  Timer t_ana;
+  double ana_time = 0.0;
+  double sim_time = 0.0;
+  for (layout::CapId id = 0; id < d.circuit.parasitics.num_couplings(); ++id) {
+    const layout::CouplingCap& cc = d.circuit.parasitics.coupling(id);
+    const net::NetId victim = cc.net_a;
+    const net::NetId agg = cc.net_b;
+    const double tr = sta_res.windows[agg].trans_late;
+    Timer t;
+    const double pa = d.calc->pulse(victim, id, tr).peak;
+    ana_time += t.seconds();
+    t.reset();
+    const double ps = sim.pulse(victim, id, tr).peak;
+    sim_time += t.seconds();
+    if (ps > 1e-6) ratios.push_back(pa / ps);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double med = ratios[ratios.size() / 2];
+  std::printf("i1 pulse peaks over %zu couplings: analytic/simulated ratio "
+              "median=%.2f p10=%.2f p90=%.2f\n",
+              ratios.size(), med, ratios[ratios.size() / 10],
+              ratios[9 * ratios.size() / 10]);
+  std::printf("characterization time: analytic %.4fs vs MNA %.3fs (%.0fx)\n\n",
+              ana_time, sim_time, sim_time / std::max(ana_time, 1e-6));
+
+  // --- False-aggressor filter effect. ---
+  for (const char* name : {"i1", "i3", "i5"}) {
+    bench::Design dd = bench::build_design(name);
+    noise::EnvelopeBuilder builder(
+        *dd.circuit.netlist, dd.circuit.parasitics, *dd.calc,
+        sta::run_sta(*dd.circuit.netlist, *dd.model, dd.circuit.sta_options())
+            .windows);
+    // The builder must outlive the filter's window reference; recompute STA
+    // windows locally for the report.
+    const sta::StaResult sr =
+        sta::run_sta(*dd.circuit.netlist, *dd.model, dd.circuit.sta_options());
+    noise::EnvelopeBuilder b2(*dd.circuit.netlist, dd.circuit.parasitics,
+                              *dd.calc, sr.windows);
+    noise::NoiseAnalyzer analyzer(*dd.circuit.netlist, dd.circuit.parasitics,
+                                  *dd.model);
+    Timer t;
+    noise::AggressorFilter filter(*dd.circuit.netlist, dd.circuit.parasitics,
+                                  analyzer, b2, {});
+    std::printf("%-4s filter: %zu of %zu (victim,cap) sides pruned (%.1f%%) "
+                "in %.3fs\n",
+                name, filter.num_filtered(), filter.num_sides(),
+                100.0 * filter.num_filtered() / filter.num_sides(), t.seconds());
+
+    const int k = 8;
+    for (bool use_filter : {true, false}) {
+      topk::TopkOptions opt = bench::engine_options(dd, k, topk::Mode::kAddition);
+      opt.use_filter = use_filter;
+      Timer rt;
+      const topk::TopkResult res = dd.engine->run(opt);
+      std::printf("  filter=%-3s k=%d: est delay=%.4f runtime=%.3fs sets=%zu\n",
+                  use_filter ? "on" : "off", k, res.estimated_delay, rt.seconds(),
+                  res.stats.sets_generated);
+    }
+    std::fflush(stdout);
+  }
+  // --- Linear vs non-linear victim holder (the paper's future work). ---
+  std::printf("\nNon-linear holding device vs linear small-signal model "
+              "(coupled-RC template):\n");
+  std::printf("%10s %12s %12s %10s\n", "Cc (pF)", "linear (V)", "sq-law (V)",
+              "ratio");
+  for (double cc : {0.005, 0.01, 0.02, 0.04, 0.08}) {
+    circuit::CoupledRcParams p;
+    p.cc = cc;
+    p.agg_trans = 0.05;
+    const double lin = circuit::simulate_noise_pulse(p).peak();
+    const double nl = circuit::simulate_noise_pulse_nonlinear(p, 0.5 * p.vdd).peak();
+    std::printf("%10.3f %12.4f %12.4f %9.2fx\n", cc, lin, nl, nl / lin);
+  }
+
+  std::printf("\nExpected shape: closed-form peaks within ~2x of simulation at "
+              ">100x lower cost; the\nfilter prunes a large share of sides "
+              "without changing the found delay; the square-law\nholder "
+              "matches the linear model for small glitches and exceeds it as "
+              "the glitch grows\n(the device weakens off its bias point) — "
+              "the accuracy gap motivating ref [9]-style\nnon-linear models.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: pseudo-aggressor propagation (paper §3.1).
+//
+// With pseudo aggressors disabled, the engine only sees each victim's own
+// primary couplings: delay noise accumulated along the victim's fanin cone
+// is invisible, so the chosen top-k addition sets achieve less circuit
+// delay. Also compares full-I-list propagation vs the winner-only variant
+// of the paper's pseudo-code step 5.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace tka;
+
+int main() {
+  std::printf("Ablation: pseudo input aggressors (addition mode)\n\n");
+  const int k = bench::scale() == 0 ? 6 : 10;
+
+  for (const char* name : {"i1", "i2", "i3", "i4"}) {
+    bench::Design d = bench::build_design(name);
+    struct Config {
+      const char* label;
+      bool use_pseudo;
+      bool full_ilist;
+    };
+    for (const Config& cfg : {Config{"pseudo off          ", false, true},
+                              Config{"pseudo winner-only  ", true, false},
+                              Config{"pseudo full I-list  ", true, true}}) {
+      topk::TopkOptions opt = bench::engine_options(d, k, topk::Mode::kAddition);
+      opt.use_pseudo = cfg.use_pseudo;
+      opt.propagate_full_ilist = cfg.full_ilist;
+      Timer t;
+      const topk::TopkResult res = d.engine->run(opt);
+      const double runtime = t.seconds();
+      const double delay = bench::evaluate(d, res.members, topk::Mode::kAddition);
+      std::printf("%-4s k=%2d %s | delay=%.4f (found noise %.4f) runtime=%7.3fs\n",
+                  name, k, cfg.label, delay, delay - res.baseline_delay, runtime);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: full I-list >= winner-only >= pseudo-off in "
+              "discovered delay noise;\npseudo-off misses every cross-stage "
+              "aggressor combination.\n");
+  return 0;
+}

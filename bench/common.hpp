@@ -1,0 +1,130 @@
+// Shared bench harness: scale control, suite construction, engine presets
+// and table formatting.
+//
+// TKA_BENCH_SCALE environment variable:
+//   0 = quick   (small circuits, small k; CI-friendly)
+//   1 = default (full i1..i10 suite, k up to 50)
+//   2 = full    (larger beams, closer to exhaustive settings)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gen/benchmark_suite.hpp"
+#include "noise/coupling_calc.hpp"
+#include "sta/analyzer.hpp"
+#include "topk/topk_engine.hpp"
+#include "util/timer.hpp"
+
+namespace tka::bench {
+
+inline int scale() {
+  const char* env = std::getenv("TKA_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const int s = std::atoi(env);
+  return s < 0 ? 0 : (s > 2 ? 2 : s);
+}
+
+/// Circuits to run at the current scale.
+inline std::vector<std::string> suite_circuits() {
+  if (scale() == 0) return {"i1", "i2", "i3", "i4"};
+  return {"i1", "i2", "i3", "i4", "i5", "i6", "i7", "i8", "i9", "i10"};
+}
+
+/// Max cardinality for the Table-2 style sweeps.
+inline int suite_max_k() { return scale() == 0 ? 20 : 50; }
+
+/// The k columns reported (paper: 5,10,20,30,40,50).
+inline std::vector<int> suite_k_columns() {
+  if (scale() == 0) return {5, 10, 15, 20};
+  return {5, 10, 20, 30, 40, 50};
+}
+
+/// A built design plus everything the engine needs.
+struct Design {
+  gen::GeneratedCircuit circuit;
+  std::unique_ptr<sta::DelayModel> model;
+  std::unique_ptr<noise::AnalyticCouplingCalculator> calc;
+  std::unique_ptr<topk::TopkEngine> engine;
+  double noiseless_delay = 0.0;
+};
+
+inline Design build_design(const std::string& name) {
+  Design d;
+  d.circuit = gen::build_benchmark(gen::benchmark_spec(name));
+  d.model = std::make_unique<sta::DelayModel>(*d.circuit.netlist, d.circuit.parasitics);
+  d.calc = std::make_unique<noise::AnalyticCouplingCalculator>(d.circuit.parasitics,
+                                                               *d.model);
+  d.engine = std::make_unique<topk::TopkEngine>(*d.circuit.netlist,
+                                                d.circuit.parasitics, *d.model,
+                                                *d.calc);
+  const sta::StaResult base =
+      sta::run_sta(*d.circuit.netlist, *d.model, d.circuit.sta_options());
+  d.noiseless_delay = base.max_lat;
+  return d;
+}
+
+/// Engine preset scaled to the circuit: exact settings on small designs,
+/// beam + near-critical restriction on large ones.
+inline topk::TopkOptions engine_options(const Design& d, int k, topk::Mode mode) {
+  topk::TopkOptions opt;
+  opt.k = k;
+  opt.mode = mode;
+  opt.iterative.sta = d.circuit.sta_options();
+  const size_t caps = d.circuit.parasitics.num_couplings();
+  if (caps > 5000) {
+    opt.beam_cap = scale() == 2 ? 24 : 12;
+    opt.max_primary_per_victim = 10;
+    opt.victim_slack_threshold = 0.10 * d.noiseless_delay;
+  } else if (caps > 800) {
+    opt.beam_cap = scale() == 2 ? 32 : 16;
+    opt.max_primary_per_victim = 12;
+    opt.victim_slack_threshold = 0.20 * d.noiseless_delay;
+  } else {
+    opt.beam_cap = scale() == 2 ? 64 : 32;
+  }
+  opt.reevaluate = false;  // benches evaluate the k-points they report
+  return opt;
+}
+
+/// Circuit delay with exactly/all-but `members` active, via the fixpoint.
+inline double evaluate(const Design& d, const std::vector<layout::CapId>& members,
+                       topk::Mode mode) {
+  noise::IterativeOptions it;
+  it.sta = d.circuit.sta_options();
+  return d.engine->evaluate_set(members, mode, it);
+}
+
+/// Exact delay at cardinality k: evaluates the winner plus the stored
+/// runner-up finalists and keeps the true best (the engine's estimator
+/// ranks conservatively, especially in elimination mode). A k-set can
+/// always extend a better (k-1)-set with one more coupling, so the result
+/// is clamped monotone against `running` (pass the previous column's value,
+/// or the baseline for the first column).
+inline double evaluate_at_k(const Design& d, const topk::TopkResult& res, int k,
+                            topk::Mode mode, double running) {
+  const size_t idx = static_cast<size_t>(k) - 1;
+  const bool addition = (mode == topk::Mode::kAddition);
+  double best = running;
+  std::vector<const std::vector<layout::CapId>*> done;
+  auto consider = [&](const std::vector<layout::CapId>& members) {
+    if (members.empty()) return;
+    for (const auto* seen : done) {
+      if (*seen == members) return;
+    }
+    done.push_back(&members);
+    const double delay = evaluate(d, members, mode);
+    if (addition ? delay > best : delay < best) best = delay;
+  };
+  consider(res.set_by_k[idx]);
+  for (const auto& members : res.finalists_by_k[idx]) consider(members);
+  return best;
+}
+
+inline const char* mode_name(topk::Mode mode) {
+  return mode == topk::Mode::kAddition ? "addition" : "elimination";
+}
+
+}  // namespace tka::bench

@@ -1,0 +1,120 @@
+#include "circuit/coupled_rc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/nonlinear.hpp"
+#include "util/assert.hpp"
+#include "wave/ramp.hpp"
+
+namespace tka::circuit {
+namespace {
+
+// Slowest plausible time constant of the template; used for default span.
+double dominant_tau(const CoupledRcParams& p) {
+  const double r = std::max(p.ra, p.rv);
+  const double c = p.c1a + p.c2a + p.c1v + p.c2v + p.cc;
+  return r * c;
+}
+
+// Shared Figure-2 template builder. When `nonlinear_victim` is false the
+// victim is held by Rv; otherwise the caller attaches a device at the
+// returned victim-near node and no Rv resistor is added.
+struct Template {
+  LinearCircuit ckt;
+  NodeId v_near = 0;
+  NodeId v_far = 0;
+};
+
+Template build_template(const CoupledRcParams& p, bool nonlinear_victim) {
+  Template t;
+  LinearCircuit& ckt = t.ckt;
+  const NodeId a_src = ckt.add_node("agg_src");
+  const NodeId a_near = ckt.add_node("agg_near");
+  const NodeId a_far = ckt.add_node("agg_far");
+  t.v_near = ckt.add_node("vic_near");
+  t.v_far = ckt.add_node("vic_far");
+
+  const double wire_r_a = 0.1 * p.ra;
+  ckt.add_vsource(a_src, wave::make_rising_ramp(0.5 * p.agg_trans, p.agg_trans, p.vdd));
+  ckt.add_resistor(a_src, a_near, p.ra);
+  ckt.add_resistor(a_near, a_far, wire_r_a);
+  ckt.add_capacitor(a_near, 0, p.c1a);
+  ckt.add_capacitor(a_far, 0, p.c2a);
+
+  const double wire_r_v = 0.1 * p.rv;
+  if (!nonlinear_victim) ckt.add_resistor(t.v_near, 0, p.rv);
+  ckt.add_resistor(t.v_near, t.v_far, wire_r_v);
+  ckt.add_capacitor(t.v_near, 0, p.c1v);
+  ckt.add_capacitor(t.v_far, 0, p.c2v);
+
+  ckt.add_capacitor(a_far, t.v_far, p.cc);
+  return t;
+}
+
+wave::PulseShape shape_from_waveform(const wave::Pwl& pulse,
+                                     const CoupledRcParams& p) {
+  wave::PulseShape shape;
+  shape.peak = pulse.peak();
+  const double t_peak = pulse.peak_time();
+  shape.rise = std::max(t_peak, 1e-4);
+  const double target = shape.peak / std::exp(1.0);
+  double t_decay = -1.0;
+  for (const wave::Point& pt : pulse.points()) {
+    if (pt.t <= t_peak) continue;
+    if (pt.v <= target) {
+      t_decay = pt.t;
+      break;
+    }
+  }
+  shape.tau = (t_decay > t_peak) ? t_decay - t_peak : dominant_tau(p);
+  shape.tau = std::max(shape.tau, 1e-4);
+  return shape;
+}
+
+}  // namespace
+
+wave::Pwl simulate_noise_pulse(const CoupledRcParams& p, double t_end, double step) {
+  TKA_ASSERT(p.ra > 0 && p.rv > 0 && p.cc > 0 && p.agg_trans > 0 && p.vdd > 0);
+  const double tau = dominant_tau(p);
+  if (t_end <= 0.0) t_end = p.agg_trans + 8.0 * tau;
+  if (step <= 0.0) step = std::min(p.agg_trans, tau) / 50.0;
+
+  Template t = build_template(p, /*nonlinear_victim=*/false);
+  TransientOptions opt;
+  opt.t_start = 0.0;
+  opt.t_end = t_end;
+  opt.step = step;
+  const TransientResult result = simulate(t.ckt, opt);
+  return result.waveform(t.v_far);
+}
+
+wave::PulseShape characterize_noise_pulse(const CoupledRcParams& p) {
+  return shape_from_waveform(simulate_noise_pulse(p), p);
+}
+
+wave::Pwl simulate_noise_pulse_nonlinear(const CoupledRcParams& p, double vov,
+                                         double t_end, double step) {
+  TKA_ASSERT(p.ra > 0 && p.rv > 0 && p.cc > 0 && p.agg_trans > 0 && p.vdd > 0);
+  TKA_ASSERT(vov > 0.0);
+  const double tau = dominant_tau(p);
+  if (t_end <= 0.0) t_end = p.agg_trans + 8.0 * tau;
+  if (step <= 0.0) step = std::min(p.agg_trans, tau) / 50.0;
+
+  Template t = build_template(p, /*nonlinear_victim=*/true);
+  NonlinearOptions opt;
+  opt.transient.t_start = 0.0;
+  opt.transient.t_end = t_end;
+  opt.transient.step = step;
+  const std::vector<AttachedDevice> devices = {
+      {t.v_near, SquareLawDevice::from_resistance(p.rv, vov)}};
+  const TransientResult result = simulate_nonlinear(t.ckt, devices, opt);
+  return result.waveform(t.v_far);
+}
+
+wave::PulseShape characterize_noise_pulse_nonlinear(const CoupledRcParams& p,
+                                                    double vov) {
+  return shape_from_waveform(simulate_noise_pulse_nonlinear(p, vov), p);
+}
+
+}  // namespace tka::circuit

@@ -1,0 +1,57 @@
+// The Figure-2 coupled-RC characterization template.
+//
+// Aggressor driver (ideal ramp source behind Ra) drives the aggressor net,
+// modeled as a pi-segment (C1a near, C2a far). A coupling cap Cc connects
+// the far aggressor node to the far victim node. The victim driver holds
+// the victim quiet through Rv; the victim net carries C1v near and C2v far.
+// Simulating the aggressor ramp and observing the victim far node yields
+// the coupled noise pulse, from which (peak, rise, tau) are extracted.
+//
+// The closed-form model in noise/coupling_calc.* approximates the same
+// template; tests bound the gap between the two.
+#pragma once
+
+#include "circuit/transient.hpp"
+#include "wave/pulse.hpp"
+#include "wave/pwl.hpp"
+
+namespace tka::circuit {
+
+/// Electrical parameters of the coupling template (kOhm / pF / ns / V).
+struct CoupledRcParams {
+  double ra = 1.0;        ///< aggressor driver resistance (kOhm)
+  double rv = 1.0;        ///< victim holding resistance (kOhm)
+  double c1a = 0.01;      ///< aggressor near-end ground cap (pF)
+  double c2a = 0.01;      ///< aggressor far-end ground cap (pF)
+  double c1v = 0.01;      ///< victim near-end ground cap (pF)
+  double c2v = 0.01;      ///< victim far-end ground cap (pF)
+  double cc = 0.02;       ///< coupling cap (pF)
+  double vdd = 1.2;       ///< supply (V)
+  double agg_trans = 0.1; ///< aggressor 0-100% transition time (ns)
+};
+
+/// Full simulated victim-noise waveform for the template (aggressor ramp
+/// starts at t = 0). `step` and `t_end` default to values resolving the
+/// fastest time constant of typical parameters.
+wave::Pwl simulate_noise_pulse(const CoupledRcParams& params,
+                               double t_end = 0.0, double step = 0.0);
+
+/// Characterized pulse shape extracted from the simulated waveform:
+/// peak = max voltage; rise = time from aggressor ramp start to the peak;
+/// tau = decay constant fit between the peak and its 1/e point.
+wave::PulseShape characterize_noise_pulse(const CoupledRcParams& params);
+
+/// Same template, but the victim holder is a square-law device whose
+/// small-signal resistance equals params.rv (overdrive `vov`, typically
+/// Vdd - Vt). Large glitches see a weakening holder, so the non-linear
+/// peak exceeds the linear one — the accuracy gap the paper's future-work
+/// section is about.
+wave::Pwl simulate_noise_pulse_nonlinear(const CoupledRcParams& params,
+                                         double vov, double t_end = 0.0,
+                                         double step = 0.0);
+
+/// Characterization of the non-linear template.
+wave::PulseShape characterize_noise_pulse_nonlinear(const CoupledRcParams& params,
+                                                    double vov);
+
+}  // namespace tka::circuit

@@ -1,0 +1,87 @@
+#include "circuit/matrix.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace tka::circuit {
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  TKA_ASSERT(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::plus(const Matrix& other) const {
+  TKA_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double a) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * a;
+  return out;
+}
+
+LuSolver::LuSolver(const Matrix& m) {
+  TKA_ASSERT(m.rows() == m.cols());
+  n_ = m.rows();
+  lu_.resize(n_ * n_);
+  perm_.resize(n_);
+  for (size_t r = 0; r < n_; ++r) {
+    perm_[r] = r;
+    for (size_t c = 0; c < n_; ++c) lu_[r * n_ + c] = m.at(r, c);
+  }
+  constexpr double kPivotTol = 1e-14;
+  for (size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: find the largest |entry| in column k at/below row k.
+    size_t pivot = k;
+    double best = std::abs(lu_[k * n_ + k]);
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double cand = std::abs(lu_[r * n_ + k]);
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < kPivotTol) throw Error("LuSolver: singular MNA matrix");
+    if (pivot != k) {
+      for (size_t c = 0; c < n_; ++c) std::swap(lu_[k * n_ + c], lu_[pivot * n_ + c]);
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    const double inv = 1.0 / lu_[k * n_ + k];
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double f = lu_[r * n_ + k] * inv;
+      lu_[r * n_ + k] = f;
+      for (size_t c = k + 1; c < n_; ++c) lu_[r * n_ + c] -= f * lu_[k * n_ + c];
+    }
+  }
+}
+
+std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
+  TKA_ASSERT(b.size() == n_);
+  std::vector<double> x(n_);
+  // Forward substitution with permutation.
+  for (size_t r = 0; r < n_; ++r) {
+    double acc = b[perm_[r]];
+    for (size_t c = 0; c < r; ++c) acc -= lu_[r * n_ + c] * x[c];
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (size_t ri = n_; ri-- > 0;) {
+    double acc = x[ri];
+    for (size_t c = ri + 1; c < n_; ++c) acc -= lu_[ri * n_ + c] * x[c];
+    x[ri] = acc / lu_[ri * n_ + ri];
+  }
+  return x;
+}
+
+}  // namespace tka::circuit

@@ -1,0 +1,59 @@
+// Dense linear algebra for the MNA solver. Circuit templates in this
+// library are tiny (a handful of nodes), so a dense LU with partial
+// pivoting is simpler and faster than any sparse machinery.
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+namespace tka::circuit {
+
+/// Dense row-major square-capable matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this * v (matrix-vector product); v.size() must equal cols().
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  /// this + other, elementwise; dimensions must match.
+  Matrix plus(const Matrix& other) const;
+
+  /// this scaled by a.
+  Matrix scaled(double a) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix; reusable for
+/// many right-hand sides (the transient loop factors once per time step
+/// size and solves per step).
+class LuSolver {
+ public:
+  /// Factors `m` (must be square and non-singular; throws tka::Error if a
+  /// pivot collapses below tolerance).
+  explicit LuSolver(const Matrix& m);
+
+  /// Solves A x = b for the factored A.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> lu_;    // packed LU factors, row-major
+  std::vector<size_t> perm_;  // row permutation
+};
+
+}  // namespace tka::circuit

@@ -1,0 +1,141 @@
+#include "circuit/nonlinear.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace tka::circuit {
+
+SquareLawDevice::SquareLawDevice(double k, double vov) : k_(k), vov_(vov) {
+  TKA_ASSERT(k > 0.0);
+  TKA_ASSERT(vov > 0.0);
+}
+
+SquareLawDevice SquareLawDevice::from_resistance(double r_kohm, double vov) {
+  TKA_ASSERT(r_kohm > 0.0);
+  // Small-signal conductance at v=0: dI/dv = k*vov = 1/R.
+  return SquareLawDevice(1.0 / (r_kohm * vov), vov);
+}
+
+double SquareLawDevice::current(double v) const {
+  if (v < 0.0) return k_ * vov_ * v;
+  if (v >= vov_) return 0.5 * k_ * vov_ * vov_ + kGmin * (v - vov_);
+  return k_ * (vov_ * v - 0.5 * v * v);
+}
+
+double SquareLawDevice::conductance(double v) const {
+  if (v < 0.0) return k_ * vov_;
+  if (v >= vov_) return kGmin;
+  return std::max(k_ * (vov_ - v), kGmin);
+}
+
+TransientResult simulate_nonlinear(const LinearCircuit& circuit,
+                                   const std::vector<AttachedDevice>& devices,
+                                   const NonlinearOptions& opt) {
+  const TransientOptions& tr = opt.transient;
+  TKA_ASSERT(tr.step > 0.0);
+  TKA_ASSERT(tr.t_end > tr.t_start);
+  const size_t n = circuit.unknown_count();
+  const size_t nodes = circuit.node_count();
+  const double h = tr.step;
+
+  const Matrix g = circuit.build_g();
+  const Matrix c = circuit.build_c();
+
+  // Row index of each device node (ground is eliminated; node ids are
+  // 1-based so row = node - 1).
+  std::vector<size_t> dev_row(devices.size());
+  for (size_t d = 0; d < devices.size(); ++d) {
+    TKA_ASSERT(devices[d].node >= 1 &&
+               static_cast<size_t>(devices[d].node) <= nodes);
+    dev_row[d] = static_cast<size_t>(devices[d].node) - 1;
+  }
+
+  // DC operating point with Newton: G x + i_nl(x) = b(t0).
+  std::vector<double> x(n, 0.0);
+  const std::vector<double> b0 = circuit.build_rhs(tr.t_start);
+  for (int it = 0;; ++it) {
+    if (it >= opt.max_newton) throw Error("simulate_nonlinear: DC Newton diverged");
+    // Residual F = G x + i_nl - b; Jacobian J = G + diag(g_nl).
+    std::vector<double> f = g.multiply(x);
+    Matrix j = g;
+    for (size_t d = 0; d < devices.size(); ++d) {
+      const double v = x[dev_row[d]];
+      f[dev_row[d]] += devices[d].device.current(v);
+      j.at(dev_row[d], dev_row[d]) += devices[d].device.conductance(v);
+    }
+    double worst = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      f[i] -= b0[i];
+      worst = std::max(worst, std::abs(f[i]));
+    }
+    const std::vector<double> dx = LuSolver(j).solve(f);
+    double step_norm = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] -= dx[i];
+      step_norm = std::max(step_norm, std::abs(dx[i]));
+    }
+    if (step_norm < opt.newton_tol_v) break;
+  }
+
+  const Matrix a_lin = c.scaled(1.0 / h).plus(g.scaled(0.5));
+  const Matrix rhs_m = c.scaled(1.0 / h).plus(g.scaled(-0.5));
+
+  const size_t steps =
+      static_cast<size_t>(std::ceil((tr.t_end - tr.t_start) / h));
+  std::vector<double> times;
+  times.reserve(steps + 1);
+  std::vector<std::vector<double>> volts(nodes);
+  for (auto& trace : volts) trace.reserve(steps + 1);
+  auto record = [&](double t, const std::vector<double>& state) {
+    times.push_back(t);
+    for (size_t i = 0; i < nodes; ++i) volts[i].push_back(state[i]);
+  };
+
+  record(tr.t_start, x);
+  std::vector<double> b_prev = b0;
+  for (size_t s = 0; s < steps; ++s) {
+    const double t_next = tr.t_start + h * static_cast<double>(s + 1);
+    const std::vector<double> b_next = circuit.build_rhs(t_next);
+
+    // Trapezoidal with nonlinear term:
+    //   A x1 + 0.5 i(x1) = rhs_m x0 - 0.5 i(x0) + (b0 + b1)/2
+    std::vector<double> rhs = rhs_m.multiply(x);
+    for (size_t i = 0; i < n; ++i) rhs[i] += 0.5 * (b_prev[i] + b_next[i]);
+    for (size_t d = 0; d < devices.size(); ++d) {
+      rhs[dev_row[d]] -= 0.5 * devices[d].device.current(x[dev_row[d]]);
+    }
+
+    std::vector<double> x1 = x;  // warm start
+    for (int it = 0;; ++it) {
+      if (it >= opt.max_newton) {
+        throw Error("simulate_nonlinear: Newton diverged at t=" +
+                    std::to_string(t_next));
+      }
+      std::vector<double> f = a_lin.multiply(x1);
+      Matrix j = a_lin;
+      for (size_t d = 0; d < devices.size(); ++d) {
+        const double v = x1[dev_row[d]];
+        f[dev_row[d]] += 0.5 * devices[d].device.current(v);
+        j.at(dev_row[d], dev_row[d]) += 0.5 * devices[d].device.conductance(v);
+      }
+      double step_norm = 0.0;
+      const std::vector<double> dx = [&] {
+        for (size_t i = 0; i < n; ++i) f[i] -= rhs[i];
+        return LuSolver(j).solve(f);
+      }();
+      for (size_t i = 0; i < n; ++i) {
+        x1[i] -= dx[i];
+        step_norm = std::max(step_norm, std::abs(dx[i]));
+      }
+      if (step_norm < opt.newton_tol_v) break;
+    }
+    x = std::move(x1);
+    record(t_next, x);
+    b_prev = b_next;
+  }
+  return TransientResult(std::move(times), std::move(volts));
+}
+
+}  // namespace tka::circuit

@@ -1,0 +1,64 @@
+// Non-linear current-source driver models (the paper's stated future work;
+// ref [9] "Blade and razor" style).
+//
+// The linear framework models the victim holder as a fixed resistance —
+// its small-signal conductance. A real MOS holding device weakens as the
+// glitch grows (triode current bends over, then saturates), so linear
+// analysis is optimistic for large noise. This module adds a square-law
+// device and a Newton-within-trapezoidal transient so the coupled-RC
+// template can be characterized with a non-linear victim holder, and the
+// gap to the linear model can be measured (bench/ablation_model).
+//
+//   triode   (0 <= v <= Vov): I(v) = k * (Vov*v - v^2/2)
+//   saturation    (v >= Vov): I(v) = k * Vov^2 / 2           (+ g_min leak)
+//   below ground     (v < 0): I(v) = k * Vov * v             (linearized)
+#pragma once
+
+#include "circuit/transient.hpp"
+
+namespace tka::circuit {
+
+/// Square-law holding device from node to ground, gate fully on.
+class SquareLawDevice {
+ public:
+  /// `k` in mA/V^2, `vov` = Vgs - Vt in volts. The small-signal conductance
+  /// at v=0 is k*vov (mS), i.e. R_smallsignal = 1/(k*vov) kOhm.
+  SquareLawDevice(double k, double vov);
+
+  /// Builds the device whose small-signal resistance matches `r_kohm`.
+  static SquareLawDevice from_resistance(double r_kohm, double vov);
+
+  /// Current out of the node into ground (mA).
+  double current(double v) const;
+  /// dI/dv (mS); floored at a small positive value for Newton robustness.
+  double conductance(double v) const;
+
+  double vov() const { return vov_; }
+
+ private:
+  double k_;
+  double vov_;
+  static constexpr double kGmin = 1e-4;  // mS
+};
+
+/// A nonlinear device attached to a circuit node.
+struct AttachedDevice {
+  NodeId node = 0;
+  SquareLawDevice device;
+};
+
+/// Newton-iteration controls for the nonlinear transient.
+struct NonlinearOptions {
+  TransientOptions transient;
+  double newton_tol_v = 1e-7;
+  int max_newton = 40;
+};
+
+/// Trapezoidal transient of `circuit` with square-law devices attached;
+/// Newton's method solves each time step. Throws tka::Error if Newton
+/// fails to converge.
+TransientResult simulate_nonlinear(const LinearCircuit& circuit,
+                                   const std::vector<AttachedDevice>& devices,
+                                   const NonlinearOptions& options);
+
+}  // namespace tka::circuit

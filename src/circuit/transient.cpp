@@ -1,0 +1,68 @@
+#include "circuit/transient.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace tka::circuit {
+
+const std::vector<double>& TransientResult::voltages(NodeId node) const {
+  TKA_ASSERT(node >= 1 && static_cast<size_t>(node) <= node_volts_.size());
+  return node_volts_[static_cast<size_t>(node) - 1];
+}
+
+wave::Pwl TransientResult::waveform(NodeId node) const {
+  const std::vector<double>& v = voltages(node);
+  std::vector<wave::Point> pts;
+  pts.reserve(times_.size());
+  for (size_t i = 0; i < times_.size(); ++i) pts.push_back({times_[i], v[i]});
+  return wave::Pwl(std::move(pts));
+}
+
+TransientResult simulate(const LinearCircuit& circuit, const TransientOptions& options) {
+  TKA_ASSERT(options.step > 0.0);
+  TKA_ASSERT(options.t_end > options.t_start);
+  const size_t n = circuit.unknown_count();
+  const size_t nodes = circuit.node_count();
+  const double h = options.step;
+
+  const Matrix g = circuit.build_g();
+  const Matrix c = circuit.build_c();
+
+  // DC operating point: G x = b(t_start).
+  const LuSolver dc(g);
+  std::vector<double> x = dc.solve(circuit.build_rhs(options.t_start));
+
+  // Trapezoidal system matrices.
+  const Matrix lhs = c.scaled(1.0 / h).plus(g.scaled(0.5));
+  const Matrix rhs_m = c.scaled(1.0 / h).plus(g.scaled(-0.5));
+  const LuSolver lu(lhs);
+
+  const size_t steps = static_cast<size_t>(std::ceil((options.t_end - options.t_start) / h));
+  std::vector<double> times;
+  times.reserve(steps + 1);
+  std::vector<std::vector<double>> volts(nodes);
+  for (auto& trace : volts) trace.reserve(steps + 1);
+
+  auto record = [&](double t, const std::vector<double>& state) {
+    times.push_back(t);
+    for (size_t i = 0; i < nodes; ++i) volts[i].push_back(state[i]);
+  };
+
+  double t = options.t_start;
+  record(t, x);
+  std::vector<double> b_prev = circuit.build_rhs(t);
+  for (size_t s = 0; s < steps; ++s) {
+    const double t_next = options.t_start + h * static_cast<double>(s + 1);
+    std::vector<double> b_next = circuit.build_rhs(t_next);
+    std::vector<double> rhs = rhs_m.multiply(x);
+    for (size_t i = 0; i < n; ++i) rhs[i] += 0.5 * (b_prev[i] + b_next[i]);
+    x = lu.solve(rhs);
+    record(t_next, x);
+    b_prev = std::move(b_next);
+    t = t_next;
+  }
+  return TransientResult(std::move(times), std::move(volts));
+}
+
+}  // namespace tka::circuit

@@ -1,0 +1,45 @@
+// Fixed-step trapezoidal transient simulation of a LinearCircuit.
+//
+// Trapezoidal integration of C x' + G x = b(t):
+//   (C/h + G/2) x_{n+1} = (C/h - G/2) x_n + (b_n + b_{n+1}) / 2
+// The left-hand matrix is factored once per run (fixed h), so each step is
+// a pair of triangular solves. A-stable, second order — the standard choice
+// in circuit simulators.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "wave/pwl.hpp"
+
+namespace tka::circuit {
+
+/// Simulation controls.
+struct TransientOptions {
+  double t_start = 0.0;  ///< ns
+  double t_end = 10.0;   ///< ns
+  double step = 0.01;    ///< ns; must divide the interval reasonably
+};
+
+/// Result: time samples plus per-node voltage samples.
+class TransientResult {
+ public:
+  TransientResult(std::vector<double> times, std::vector<std::vector<double>> node_volts)
+      : times_(std::move(times)), node_volts_(std::move(node_volts)) {}
+
+  const std::vector<double>& times() const { return times_; }
+
+  /// Sampled voltage trace of `node` (1-based; ground not stored).
+  const std::vector<double>& voltages(NodeId node) const;
+
+  /// Trace converted to a PWL waveform.
+  wave::Pwl waveform(NodeId node) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<std::vector<double>> node_volts_;  // [node-1][sample]
+};
+
+/// Runs the transient. DC operating point at t_start (G x = b) seeds the
+/// state. Throws tka::Error on a singular system.
+TransientResult simulate(const LinearCircuit& circuit, const TransientOptions& options);
+
+}  // namespace tka::circuit

@@ -1,0 +1,42 @@
+#include "gen/benchmark_suite.hpp"
+
+#include "util/error.hpp"
+
+namespace tka::gen {
+
+const std::vector<BenchmarkSpec>& benchmark_specs() {
+  static const std::vector<BenchmarkSpec> specs = {
+      {"i1", 59, 46, 232, 101},     {"i2", 222, 221, 706, 102},
+      {"i3", 132, 126, 551, 103},   {"i4", 236, 230, 1181, 104},
+      {"i5", 204, 138, 1835, 105},  {"i6", 735, 668, 7298, 106},
+      {"i7", 937, 870, 9605, 107},  {"i8", 1609, 1528, 10235, 108},
+      {"i9", 1018, 955, 14140, 109},{"i10", 3379, 3155, 18318, 110},
+  };
+  return specs;
+}
+
+const BenchmarkSpec& benchmark_spec(const std::string& name) {
+  for (const BenchmarkSpec& s : benchmark_specs()) {
+    if (name == s.name) return s;
+  }
+  throw Error("benchmark_spec: unknown circuit '" + name + "'");
+}
+
+GeneratedCircuit build_benchmark(const BenchmarkSpec& spec) {
+  GeneratorParams p;
+  p.name = spec.name;
+  p.num_gates = spec.gates;
+  p.target_couplings = spec.couplings;
+  p.seed = spec.seed;
+  // Denser coupling targets need a wider capture window so enough candidate
+  // pairs exist.
+  const double density = static_cast<double>(spec.couplings) / spec.gates;
+  if (density > 8.0) {
+    p.extractor.max_coupling_dist = 16.0;
+  } else if (density > 4.0) {
+    p.extractor.max_coupling_dist = 12.0;
+  }
+  return generate_circuit(p);
+}
+
+}  // namespace tka::gen

@@ -1,0 +1,33 @@
+// The i1..i10 benchmark suite (DESIGN.md §5): synthetic circuits matched to
+// the (gates, nets, coupling caps) triples published in the paper's
+// Table 2. Deterministic seeds; build once, reuse across benches and tests.
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+#include "gen/circuit_generator.hpp"
+
+namespace tka::gen {
+
+/// Descriptor of one suite circuit (the paper's published size triple).
+struct BenchmarkSpec {
+  const char* name;
+  int gates;
+  int nets;          ///< paper's net count (informational; ours will differ)
+  size_t couplings;  ///< coupling-cap target, matched exactly (or capped by
+                     ///< the number of extractable pairs)
+  std::uint64_t seed;
+};
+
+/// All ten specs, i1..i10.
+const std::vector<BenchmarkSpec>& benchmark_specs();
+
+/// Spec by name ("i1".."i10"); throws tka::Error when unknown.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+/// Builds the circuit for a spec.
+GeneratedCircuit build_benchmark(const BenchmarkSpec& spec);
+
+}  // namespace tka::gen

@@ -1,0 +1,59 @@
+// Synthetic benchmark circuits. Stands in for the paper's commercial
+// synthesis + APR + extraction flow (DESIGN.md §5): deterministic random
+// levelized DAGs from the default cell library, grid-placed, L-routed and
+// extracted, with randomized primary-input arrival windows so aggressor/
+// victim timing windows have realistic diversity.
+#pragma once
+
+#include <cstddef>
+
+#include <memory>
+#include <string>
+
+#include "layout/extractor.hpp"
+#include "layout/placer.hpp"
+#include "net/netlist.hpp"
+#include "sta/analyzer.hpp"
+
+namespace tka::gen {
+
+/// Generation parameters.
+struct GeneratorParams {
+  std::string name = "gen";
+  int num_gates = 100;
+  size_t target_couplings = 500;  ///< extractor keeps the largest N
+  std::uint64_t seed = 1;
+
+  int min_depth = 8;              ///< logic depth lower bound
+  double pi_fraction = 0.12;      ///< primary inputs per gate
+
+  /// PI arrivals are randomized as a fraction of the circuit's noiseless
+  /// delay (measured after extraction), so timing-window diversity scales
+  /// with design size the way real input constraints do.
+  double arrival_spread_frac = 0.15;  ///< arrival randomization range
+  double window_width_frac = 0.02;    ///< max PI window width (lat - eat)
+
+  /// Merge all dangling nets through an AND2 reduction tree into a single
+  /// primary output — the paper's single "sink node" formulation. With one
+  /// sink, per-victim dominance (Theorem 1) is exact for the global
+  /// objective, which the brute-force validation (Table 1) relies on.
+  bool single_sink = false;
+  layout::PlacerOptions placer;
+  layout::ExtractorOptions extractor;
+};
+
+/// A generated design: netlist + parasitics + input arrivals.
+struct GeneratedCircuit {
+  std::string name;
+  std::unique_ptr<net::Netlist> netlist;
+  layout::Parasitics parasitics{0};
+  std::vector<sta::InputArrival> arrivals;  ///< indexed by net id
+
+  /// StaOptions wired to this circuit's arrival table.
+  sta::StaOptions sta_options() const;
+};
+
+/// Builds a circuit. Deterministic in `params.seed`.
+GeneratedCircuit generate_circuit(const GeneratorParams& params);
+
+}  // namespace tka::gen

@@ -1,0 +1,235 @@
+#include "io/bench_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace tka::io {
+namespace {
+
+struct Assignment {
+  std::string out;
+  std::string func;  // upper-cased
+  std::vector<std::string> ins;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw Error("bench:" + std::to_string(line) + ": " + msg);
+}
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Builds (possibly decomposed) logic for one assignment. All fanin nets
+/// must already exist in `nets`.
+net::NetId build_gate(net::Netlist& nl, const Assignment& a,
+                      const std::vector<net::NetId>& ins) {
+  const net::CellLibrary& lib = nl.library();
+  const size_t n = ins.size();
+
+  auto add = [&](const char* cell, const std::vector<net::NetId>& fanins,
+                 const std::string& out_name) {
+    return nl.add_gate(lib.index_of(cell), fanins, "G_" + out_name, out_name);
+  };
+
+  // Direct single-cell mappings.
+  struct Direct {
+    const char* func;
+    size_t fanin;
+    const char* cell;
+  };
+  static constexpr Direct kDirect[] = {
+      {"NOT", 1, "INVX1"},   {"BUF", 1, "BUFX1"},   {"BUFF", 1, "BUFX1"},
+      {"NAND", 2, "NAND2X1"},{"NOR", 2, "NOR2X1"},  {"AND", 2, "AND2X1"},
+      {"OR", 2, "OR2X1"},    {"XOR", 2, "XOR2X1"},  {"XNOR", 2, "XNOR2X1"},
+      {"NAND", 3, "NAND3X1"},{"NOR", 3, "NOR3X1"},  {"AND", 3, "AND3X1"},
+      {"OR", 3, "OR3X1"},    {"NAND", 4, "NAND4X1"},{"NOR", 4, "NOR4X1"},
+  };
+  for (const Direct& d : kDirect) {
+    if (a.func == d.func && n == d.fanin) return add(d.cell, ins, a.out);
+  }
+
+  // Decomposition: balanced tree of the 2-input base function, then an
+  // inverter for the inverting variants.
+  const char* base = nullptr;
+  bool invert_root = false;
+  if (a.func == "AND" || a.func == "NAND") {
+    base = "AND2X1";
+    invert_root = (a.func == "NAND");
+  } else if (a.func == "OR" || a.func == "NOR") {
+    base = "OR2X1";
+    invert_root = (a.func == "NOR");
+  } else if (a.func == "XOR" || a.func == "XNOR") {
+    base = "XOR2X1";
+    invert_root = (a.func == "XNOR");
+  } else {
+    fail(a.line, "unsupported function '" + a.func + "' with " +
+                     std::to_string(n) + " inputs");
+  }
+  if (n < 2) fail(a.line, a.func + " needs at least 2 inputs");
+
+  std::vector<net::NetId> layer = ins;
+  int tmp = 0;
+  while (layer.size() > 2 || (layer.size() == 2 && invert_root)) {
+    std::vector<net::NetId> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(add(base, {layer[i], layer[i + 1]},
+                         a.out + "_t" + std::to_string(tmp++)));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+    if (layer.size() == 1) break;
+  }
+  if (layer.size() == 2) return add(base, layer, a.out);
+  return add("INVX1", {layer[0]}, a.out);
+}
+
+}  // namespace
+
+std::unique_ptr<net::Netlist> read_bench(std::istream& in,
+                                         const std::string& design_name) {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<Assignment> assigns;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view s = str::trim(line);
+    if (s.empty() || s.front() == '#') continue;
+
+    const std::string text(s);
+    const size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) / OUTPUT(x)
+      const size_t lp = text.find('(');
+      const size_t rp = text.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+        fail(line_no, "expected INPUT(...)/OUTPUT(...) or assignment");
+      }
+      const std::string kw = upper(str::trim(text.substr(0, lp)));
+      const std::string arg{str::trim(text.substr(lp + 1, rp - lp - 1))};
+      if (arg.empty()) fail(line_no, "empty pin name");
+      if (kw == "INPUT") {
+        inputs.push_back(arg);
+      } else if (kw == "OUTPUT") {
+        outputs.push_back(arg);
+      } else {
+        fail(line_no, "unknown directive '" + kw + "'");
+      }
+      continue;
+    }
+
+    Assignment a;
+    a.line = line_no;
+    a.out = std::string(str::trim(text.substr(0, eq)));
+    const std::string rhs(str::trim(text.substr(eq + 1)));
+    const size_t lp = rhs.find('(');
+    const size_t rp = rhs.rfind(')');
+    if (a.out.empty() || lp == std::string::npos || rp == std::string::npos || rp < lp) {
+      fail(line_no, "malformed assignment");
+    }
+    a.func = upper(str::trim(rhs.substr(0, lp)));
+    for (const std::string& tok : str::split(rhs.substr(lp + 1, rp - lp - 1), ", \t")) {
+      a.ins.push_back(tok);
+    }
+    if (a.ins.empty()) fail(line_no, "gate with no inputs");
+    assigns.push_back(std::move(a));
+  }
+
+  auto nl = std::make_unique<net::Netlist>(net::CellLibrary::default_library(),
+                                           design_name);
+  std::unordered_map<std::string, net::NetId> nets;
+  for (const std::string& name : inputs) {
+    if (nets.count(name)) throw Error("bench: duplicate INPUT '" + name + "'");
+    nets[name] = nl->add_primary_input(name);
+  }
+
+  // DFF outputs become pseudo primary inputs (combinational cut).
+  for (const Assignment& a : assigns) {
+    if (a.func == "DFF") {
+      if (a.ins.size() != 1) fail(a.line, "DFF takes exactly one input");
+      if (nets.count(a.out)) fail(a.line, "duplicate net '" + a.out + "'");
+      nets[a.out] = nl->add_primary_input(a.out);
+    }
+  }
+
+  // Worklist construction: emit each gate once all its fanins exist.
+  std::vector<Assignment> pending;
+  for (const Assignment& a : assigns) {
+    if (a.func != "DFF") pending.push_back(a);
+  }
+  while (!pending.empty()) {
+    bool progress = false;
+    std::vector<Assignment> next;
+    for (Assignment& a : pending) {
+      bool ready = true;
+      std::vector<net::NetId> ins;
+      for (const std::string& in_name : a.ins) {
+        auto it = nets.find(in_name);
+        if (it == nets.end()) {
+          ready = false;
+          break;
+        }
+        ins.push_back(it->second);
+      }
+      if (!ready) {
+        next.push_back(std::move(a));
+        continue;
+      }
+      if (nets.count(a.out)) fail(a.line, "duplicate net '" + a.out + "'");
+      nets[a.out] = build_gate(*nl, a, ins);
+      progress = true;
+    }
+    if (!progress) {
+      fail(next.front().line, "unresolvable net '" + next.front().ins.front() +
+                                  "' (undefined or combinational cycle)");
+    }
+    pending = std::move(next);
+  }
+
+  for (const Assignment& a : assigns) {
+    if (a.func != "DFF") continue;
+    auto it = nets.find(a.ins.front());
+    if (it == nets.end()) fail(a.line, "DFF input '" + a.ins.front() + "' undefined");
+    nl->mark_primary_output(it->second);  // the D pin is a timing endpoint
+  }
+  for (const std::string& name : outputs) {
+    auto it = nets.find(name);
+    if (it == nets.end()) throw Error("bench: OUTPUT '" + name + "' undefined");
+    nl->mark_primary_output(it->second);
+  }
+  nl->validate();
+  return nl;
+}
+
+std::unique_ptr<net::Netlist> read_bench_string(const std::string& text,
+                                                const std::string& design_name) {
+  std::istringstream in(text);
+  return read_bench(in, design_name);
+}
+
+std::unique_ptr<net::Netlist> read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("bench: cannot open '" + path + "'");
+  // Design name = file stem.
+  std::string name = path;
+  if (const size_t slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const size_t dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_bench(in, name);
+}
+
+}  // namespace tka::io

@@ -1,0 +1,32 @@
+// ISCAS-85 style ".bench" netlist reader.
+//
+// Supported statements: comments (#), INPUT(x), OUTPUT(x), and
+//   y = FUNC(a, b, ...)
+// with FUNC in {AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF, BUFF, DFF}.
+// Gates with more than four fanins are decomposed into balanced two-input
+// trees (inverting functions invert only at the root). DFFs are cut into a
+// pseudo primary output (the D pin) and a pseudo primary input (the Q net),
+// which is the standard combinational-timing treatment.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "net/netlist.hpp"
+
+namespace tka::io {
+
+/// Parses a .bench stream. Throws tka::Error with a line number on any
+/// syntax or semantic problem.
+std::unique_ptr<net::Netlist> read_bench(std::istream& in,
+                                         const std::string& design_name = "bench");
+
+/// Parses .bench text.
+std::unique_ptr<net::Netlist> read_bench_string(const std::string& text,
+                                                const std::string& design_name = "bench");
+
+/// Parses a .bench file from disk.
+std::unique_ptr<net::Netlist> read_bench_file(const std::string& path);
+
+}  // namespace tka::io

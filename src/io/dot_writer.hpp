@@ -1,0 +1,20 @@
+// Graphviz export of a netlist, optionally annotated with coupling edges —
+// handy for inspecting small designs and top-k result sets.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "layout/parasitics.hpp"
+#include "net/netlist.hpp"
+
+namespace tka::io {
+
+/// Writes the gate graph in DOT format. When `par` is non-null, coupling
+/// caps appear as dashed undirected edges; ids in `highlight` are drawn in
+/// red (e.g. a top-k set).
+void write_dot(std::ostream& out, const net::Netlist& nl,
+               const layout::Parasitics* par = nullptr,
+               std::span<const layout::CapId> highlight = {});
+
+}  // namespace tka::io

@@ -1,0 +1,76 @@
+#include "io/spef_lite.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace tka::io {
+
+void write_spef_lite(std::ostream& out, const net::Netlist& nl,
+                     const layout::Parasitics& par) {
+  out << "*DESIGN " << nl.name() << "\n";
+  out.precision(9);
+  for (net::NetId n = 0; n < nl.num_nets(); ++n) {
+    const double gc = par.ground_cap(n);
+    const double wr = par.wire_res(n);
+    if (gc == 0.0 && wr == 0.0) continue;
+    out << "*NET " << nl.net(n).name << " " << gc << " " << wr << "\n";
+  }
+  for (const layout::CouplingCap& cc : par.couplings()) {
+    if (cc.cap_pf <= 0.0) continue;
+    out << "*CCAP " << nl.net(cc.net_a).name << " " << nl.net(cc.net_b).name
+        << " " << cc.cap_pf << "\n";
+  }
+}
+
+void write_spef_lite_file(const std::string& path, const net::Netlist& nl,
+                          const layout::Parasitics& par) {
+  std::ofstream out(path);
+  if (!out) throw Error("spef_lite: cannot open '" + path + "' for writing");
+  write_spef_lite(out, nl, par);
+  if (!out) throw Error("spef_lite: write failed for '" + path + "'");
+}
+
+layout::Parasitics read_spef_lite(std::istream& in, const net::Netlist& nl) {
+  layout::Parasitics par(nl.num_nets());
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view s = str::trim(line);
+    if (s.empty() || s.front() == '#') continue;
+    const std::vector<std::string> tok = str::split(s, " \t");
+    auto fail = [line_no](const std::string& msg) -> void {
+      throw Error("spef_lite:" + std::to_string(line_no) + ": " + msg);
+    };
+    if (tok[0] == "*DESIGN") {
+      continue;  // informational
+    } else if (tok[0] == "*NET") {
+      if (tok.size() != 4) fail("*NET takes <name> <gcap> <res>");
+      const net::NetId n = nl.net_by_name(tok[1]);
+      par.add_ground_cap(n, std::stod(tok[2]));
+      par.add_wire_res(n, std::stod(tok[3]));
+    } else if (tok[0] == "*CCAP") {
+      if (tok.size() != 4) fail("*CCAP takes <net_a> <net_b> <cap>");
+      const net::NetId a = nl.net_by_name(tok[1]);
+      const net::NetId b = nl.net_by_name(tok[2]);
+      const double cap = std::stod(tok[3]);
+      if (cap <= 0.0) fail("coupling cap must be positive");
+      par.add_coupling(a, b, cap);
+    } else {
+      fail("unknown directive '" + tok[0] + "'");
+    }
+  }
+  return par;
+}
+
+layout::Parasitics read_spef_lite_file(const std::string& path,
+                                       const net::Netlist& nl) {
+  std::ifstream in(path);
+  if (!in) throw Error("spef_lite: cannot open '" + path + "'");
+  return read_spef_lite(in, nl);
+}
+
+}  // namespace tka::io

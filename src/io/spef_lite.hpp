@@ -1,0 +1,33 @@
+// SPEF-lite: a line-oriented exchange format for the extracted parasitics,
+// a simplified stand-in for IEEE 1481 SPEF. Net names are resolved against
+// the netlist on read, so a parasitics database round-trips exactly.
+//
+//   *DESIGN <name>
+//   *NET <net> <ground_cap_pf> <wire_res_kohm>
+//   *CCAP <net_a> <net_b> <cap_pf>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/parasitics.hpp"
+
+namespace tka::io {
+
+/// Writes the parasitics database.
+void write_spef_lite(std::ostream& out, const net::Netlist& nl,
+                     const layout::Parasitics& par);
+
+/// Writes to a file. Throws tka::Error on I/O failure.
+void write_spef_lite_file(const std::string& path, const net::Netlist& nl,
+                          const layout::Parasitics& par);
+
+/// Reads a SPEF-lite stream against `nl`. Throws tka::Error on unknown
+/// nets or malformed lines.
+layout::Parasitics read_spef_lite(std::istream& in, const net::Netlist& nl);
+
+/// Reads from a file.
+layout::Parasitics read_spef_lite_file(const std::string& path,
+                                       const net::Netlist& nl);
+
+}  // namespace tka::io

@@ -1,0 +1,209 @@
+#include "io/verilog_lite.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace tka::io {
+
+std::string input_pin_name(int index) {
+  TKA_CHECK(index >= 0 && index < 4, "verilog: input pin index out of range");
+  return std::string(1, static_cast<char>('A' + index));
+}
+
+void write_verilog(std::ostream& out, const net::Netlist& nl) {
+  const auto pis = nl.primary_inputs();
+  const auto pos = nl.primary_outputs();
+  out << "module " << nl.name() << " (";
+  bool first = true;
+  for (net::NetId n : pis) {
+    out << (first ? "" : ", ") << nl.net(n).name;
+    first = false;
+  }
+  for (net::NetId n : pos) {
+    out << (first ? "" : ", ") << nl.net(n).name;
+    first = false;
+  }
+  out << ");\n";
+  for (net::NetId n : pis) out << "  input " << nl.net(n).name << ";\n";
+  for (net::NetId n : pos) out << "  output " << nl.net(n).name << ";\n";
+  for (net::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!nl.net(n).is_primary_input && !nl.net(n).is_primary_output) {
+      out << "  wire " << nl.net(n).name << ";\n";
+    }
+  }
+  for (net::GateId g = 0; g < nl.num_gates(); ++g) {
+    const net::Gate& gate = nl.gate(g);
+    out << "  " << nl.cell_of(g).name << " " << gate.name << " (";
+    for (size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      out << "." << input_pin_name(static_cast<int>(pin)) << "("
+          << nl.net(gate.inputs[pin]).name << "), ";
+    }
+    out << ".Y(" << nl.net(gate.output).name << "));\n";
+  }
+  out << "endmodule\n";
+}
+
+void write_verilog_file(const std::string& path, const net::Netlist& nl) {
+  std::ofstream out(path);
+  if (!out) throw Error("verilog: cannot open '" + path + "' for writing");
+  write_verilog(out, nl);
+  if (!out) throw Error("verilog: write failed for '" + path + "'");
+}
+
+namespace {
+
+// Strips // comments and splits the stream into ';'-terminated statements.
+std::vector<std::string> statements(std::istream& in) {
+  std::ostringstream all;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t comment = line.find("//");
+    if (comment != std::string::npos) line.resize(comment);
+    all << line << '\n';
+  }
+  std::vector<std::string> out;
+  std::string text = all.str();
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == ';') {
+      out.emplace_back(str::trim(text.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  const std::string tail{str::trim(text.substr(start))};
+  if (!tail.empty()) out.push_back(tail);
+  return out;
+}
+
+struct Instance {
+  std::string cell;
+  std::string name;
+  std::map<std::string, std::string> pins;  // pin -> net name
+};
+
+}  // namespace
+
+std::unique_ptr<net::Netlist> read_verilog(std::istream& in) {
+  const net::CellLibrary& lib = net::CellLibrary::default_library();
+  std::string module_name = "top";
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> wires;
+  std::vector<Instance> instances;
+
+  for (const std::string& stmt : statements(in)) {
+    if (stmt.empty()) continue;
+    const std::vector<std::string> tok = str::split(stmt, " \t\n,()");
+    if (tok.empty()) continue;
+    if (tok[0] == "module") {
+      TKA_CHECK(tok.size() >= 2, "verilog: malformed module header");
+      module_name = tok[1];
+    } else if (tok[0] == "endmodule") {
+      break;
+    } else if (tok[0] == "input") {
+      inputs.insert(inputs.end(), tok.begin() + 1, tok.end());
+    } else if (tok[0] == "output") {
+      outputs.insert(outputs.end(), tok.begin() + 1, tok.end());
+    } else if (tok[0] == "wire") {
+      wires.insert(wires.end(), tok.begin() + 1, tok.end());
+    } else {
+      // Instance: CELL name (.PIN(net), ...);
+      TKA_CHECK(lib.contains(tok[0]), "verilog: unknown cell '" + tok[0] + "'");
+      Instance inst;
+      inst.cell = tok[0];
+      TKA_CHECK(tok.size() >= 2, "verilog: instance without a name");
+      inst.name = tok[1];
+      // Re-parse pin connections from the raw statement: .PIN(net)
+      size_t pos = 0;
+      while ((pos = stmt.find('.', pos)) != std::string::npos) {
+        const size_t lp = stmt.find('(', pos);
+        const size_t rp = stmt.find(')', lp);
+        TKA_CHECK(lp != std::string::npos && rp != std::string::npos,
+                  "verilog: malformed pin connection in '" + inst.name + "'");
+        const std::string pin{str::trim(stmt.substr(pos + 1, lp - pos - 1))};
+        const std::string netname{str::trim(stmt.substr(lp + 1, rp - lp - 1))};
+        TKA_CHECK(!pin.empty() && !netname.empty(),
+                  "verilog: empty pin/net in '" + inst.name + "'");
+        TKA_CHECK(!inst.pins.count(pin),
+                  "verilog: duplicate pin ." + pin + " in '" + inst.name + "'");
+        inst.pins[pin] = netname;
+        pos = rp + 1;
+      }
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  auto nl = std::make_unique<net::Netlist>(lib, module_name);
+  std::map<std::string, net::NetId> nets;
+  for (const std::string& name : inputs) {
+    TKA_CHECK(!nets.count(name), "verilog: duplicate input '" + name + "'");
+    nets[name] = nl->add_primary_input(name);
+  }
+
+  // Worklist: create each instance once all its input nets exist.
+  std::vector<Instance> pending = instances;
+  while (!pending.empty()) {
+    std::vector<Instance> next;
+    bool progress = false;
+    for (Instance& inst : pending) {
+      const size_t cell_idx = lib.index_of(inst.cell);
+      const int nin = lib.cell(cell_idx).num_inputs;
+      std::vector<net::NetId> ins;
+      bool ready = true;
+      for (int pin = 0; pin < nin; ++pin) {
+        auto it = inst.pins.find(input_pin_name(pin));
+        TKA_CHECK(it != inst.pins.end(), "verilog: instance '" + inst.name +
+                                             "' missing pin ." + input_pin_name(pin));
+        auto net_it = nets.find(it->second);
+        if (net_it == nets.end()) {
+          ready = false;
+          break;
+        }
+        ins.push_back(net_it->second);
+      }
+      auto out_it = inst.pins.find("Y");
+      TKA_CHECK(out_it != inst.pins.end(),
+                "verilog: instance '" + inst.name + "' missing pin .Y");
+      if (!ready) {
+        next.push_back(std::move(inst));
+        continue;
+      }
+      TKA_CHECK(!nets.count(out_it->second),
+                "verilog: net '" + out_it->second + "' driven twice");
+      nets[out_it->second] = nl->add_gate(cell_idx, ins, inst.name, out_it->second);
+      progress = true;
+    }
+    if (!progress) {
+      throw Error("verilog: unresolvable instance '" + next.front().name +
+                  "' (undriven input or combinational cycle)");
+    }
+    pending = std::move(next);
+  }
+
+  for (const std::string& name : outputs) {
+    auto it = nets.find(name);
+    TKA_CHECK(it != nets.end(), "verilog: output '" + name + "' undriven");
+    nl->mark_primary_output(it->second);
+  }
+  nl->validate();
+  return nl;
+}
+
+std::unique_ptr<net::Netlist> read_verilog_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_verilog(in);
+}
+
+std::unique_ptr<net::Netlist> read_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("verilog: cannot open '" + path + "'");
+  return read_verilog(in);
+}
+
+}  // namespace tka::io

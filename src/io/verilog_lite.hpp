@@ -1,0 +1,44 @@
+// Structural Verilog subset: gate-level netlists using the built-in cell
+// library, with named pin connections (.A/.B/.C/.D inputs, .Y output).
+//
+//   module top (a, b, y);
+//     input a, b;
+//     output y;
+//     wire w1;
+//     NAND2X1 g0 (.A(a), .B(b), .Y(w1));
+//     INVX1 g1 (.A(w1), .Y(y));
+//   endmodule
+//
+// The writer always produces this shape; the reader accepts arbitrary
+// whitespace/line breaks, `//` comments, and statements in any order.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "net/netlist.hpp"
+
+namespace tka::io {
+
+/// Writes `nl` as structural Verilog.
+void write_verilog(std::ostream& out, const net::Netlist& nl);
+
+/// Writes to a file; throws tka::Error on I/O failure.
+void write_verilog_file(const std::string& path, const net::Netlist& nl);
+
+/// Parses a structural-Verilog stream against the default cell library.
+/// Throws tka::Error on syntax errors, unknown cells/pins or undriven
+/// wires.
+std::unique_ptr<net::Netlist> read_verilog(std::istream& in);
+
+/// Parses Verilog text.
+std::unique_ptr<net::Netlist> read_verilog_string(const std::string& text);
+
+/// Parses a file.
+std::unique_ptr<net::Netlist> read_verilog_file(const std::string& path);
+
+/// Canonical pin name of input pin `index` (A, B, C, D).
+std::string input_pin_name(int index);
+
+}  // namespace tka::io

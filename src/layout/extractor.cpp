@@ -1,0 +1,118 @@
+#include "layout/extractor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace tka::layout {
+namespace {
+
+// Spatial hashing of segments into coarse bins so coupling candidates are
+// found without the O(S^2) all-pairs sweep.
+struct BinKey {
+  int bx = 0;
+  int by = 0;
+  friend bool operator==(const BinKey&, const BinKey&) = default;
+};
+
+struct BinKeyHash {
+  size_t operator()(const BinKey& k) const {
+    return std::hash<long long>()((static_cast<long long>(k.bx) << 32) ^
+                                  static_cast<unsigned>(k.by));
+  }
+};
+
+struct SegRef {
+  net::NetId net;
+  const Segment* seg;
+};
+
+}  // namespace
+
+Parasitics extract(const net::Netlist& nl, const std::vector<Route>& routes,
+                   const ExtractorOptions& opt) {
+  TKA_ASSERT(routes.size() == nl.num_nets());
+  Parasitics par(nl.num_nets());
+
+  // Wire RC from route length.
+  for (const Route& r : routes) {
+    const double len = r.total_length();
+    par.add_ground_cap(r.net, len * opt.cap_per_um);
+    par.add_wire_res(r.net, len * opt.res_per_um);
+  }
+
+  // Bin all segments; bin size = coupling window so only neighboring bins
+  // need to be compared.
+  const double bin = std::max(opt.max_coupling_dist * 2.0, 1.0);
+  std::unordered_map<BinKey, std::vector<SegRef>, BinKeyHash> bins;
+  auto bins_of_segment = [&](const Segment& s) {
+    std::vector<BinKey> keys;
+    const int bx0 = static_cast<int>(std::floor(std::min(s.x1, s.x2) / bin));
+    const int bx1 = static_cast<int>(std::floor(std::max(s.x1, s.x2) / bin));
+    const int by0 = static_cast<int>(std::floor(std::min(s.y1, s.y2) / bin));
+    const int by1 = static_cast<int>(std::floor(std::max(s.y1, s.y2) / bin));
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      for (int by = by0; by <= by1; ++by) keys.push_back({bx, by});
+    }
+    return keys;
+  };
+  for (const Route& r : routes) {
+    for (const Segment& s : r.segments) {
+      for (const BinKey& k : bins_of_segment(s)) bins[k].push_back({r.net, &s});
+    }
+  }
+
+  // Accumulate coupling per net pair. A segment pair can meet in several
+  // bins; `seen` guarantees each pair contributes exactly once.
+  std::map<std::pair<net::NetId, net::NetId>, double> coupling;
+  std::set<std::pair<const Segment*, const Segment*>> seen;
+  auto consider = [&](const SegRef& a, const SegRef& b) {
+    if (a.net == b.net) return;
+    const auto seg_key = std::minmax(a.seg, b.seg);
+    if (!seen.insert({seg_key.first, seg_key.second}).second) return;
+    const ParallelRun run = parallel_run(*a.seg, *b.seg);
+    if (run.overlap <= 0.0 || run.distance > opt.max_coupling_dist) return;
+    const double dist = std::max(run.distance, opt.min_spacing);
+    const double cap = opt.coupling_per_um * run.overlap * (opt.min_spacing / dist);
+    const auto key = std::minmax(a.net, b.net);
+    coupling[{key.first, key.second}] += cap;
+  };
+  for (auto& [key, segs] : bins) {
+    // Within-bin pairs.
+    for (size_t i = 0; i < segs.size(); ++i) {
+      for (size_t j = i + 1; j < segs.size(); ++j) consider(segs[i], segs[j]);
+    }
+    // Neighbor bins (only the 4 forward neighbors to avoid double counting).
+    static constexpr int kNbr[4][2] = {{1, 0}, {0, 1}, {1, 1}, {1, -1}};
+    for (const auto& d : kNbr) {
+      const BinKey nk{key.bx + d[0], key.by + d[1]};
+      auto it = bins.find(nk);
+      if (it == bins.end()) continue;
+      for (const SegRef& a : segs) {
+        for (const SegRef& b : it->second) consider(a, b);
+      }
+    }
+  }
+
+  std::vector<std::pair<std::pair<net::NetId, net::NetId>, double>> pairs(
+      coupling.begin(), coupling.end());
+  // Largest couplings first (deterministic tie-break on net ids).
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  size_t kept = 0;
+  for (const auto& [nets, cap] : pairs) {
+    if (cap < opt.min_coupling_pf) continue;
+    if (opt.max_couplings != 0 && kept >= opt.max_couplings) break;
+    par.add_coupling(nets.first, nets.second, cap);
+    ++kept;
+  }
+  return par;
+}
+
+}  // namespace tka::layout

@@ -1,0 +1,32 @@
+// Parasitic extraction from estimated routes. Stands in for the commercial
+// extraction tool in the paper's flow.
+//
+// Per-net wire RC scales with total route length; coupling capacitance is
+// assigned to net pairs whose segments run in parallel within a coupling
+// window, proportional to overlap length and inversely to separation —
+// the standard first-order model.
+#pragma once
+
+#include <cstddef>
+
+#include "layout/parasitics.hpp"
+#include "layout/router.hpp"
+
+namespace tka::layout {
+
+/// Extraction constants (0.13um-flavored; um / pF / kOhm).
+struct ExtractorOptions {
+  double cap_per_um = 0.00008;       ///< ground cap per um of wire (pF)
+  double res_per_um = 0.0004;        ///< wire resistance per um (kOhm)
+  double coupling_per_um = 0.00018;  ///< coupling cap per um at min spacing (pF)
+  double min_spacing = 1.0;          ///< reference spacing (um)
+  double max_coupling_dist = 8.0;    ///< beyond this separation, no coupling
+  double min_coupling_pf = 1e-5;     ///< drop couplings below this value
+  size_t max_couplings = 0;          ///< keep only the largest N (0 = all)
+};
+
+/// Extracts a full Parasitics database from the routes.
+Parasitics extract(const net::Netlist& nl, const std::vector<Route>& routes,
+                   const ExtractorOptions& options);
+
+}  // namespace tka::layout

@@ -1,0 +1,43 @@
+#include "layout/geometry.hpp"
+
+#include <algorithm>
+
+namespace tka::layout {
+
+Segment make_h(double y, double xa, double xb) {
+  Segment s;
+  s.y1 = s.y2 = y;
+  s.x1 = std::min(xa, xb);
+  s.x2 = std::max(xa, xb);
+  return s;
+}
+
+Segment make_v(double x, double ya, double yb) {
+  Segment s;
+  s.x1 = s.x2 = x;
+  s.y1 = std::min(ya, yb);
+  s.y2 = std::max(ya, yb);
+  return s;
+}
+
+ParallelRun parallel_run(const Segment& a, const Segment& b) {
+  ParallelRun run;
+  if (a.horizontal() && b.horizontal()) {
+    const double lo = std::max(a.x1, b.x1);
+    const double hi = std::min(a.x2, b.x2);
+    if (hi > lo) {
+      run.overlap = hi - lo;
+      run.distance = std::abs(a.y1 - b.y1);
+    }
+  } else if (a.vertical() && b.vertical()) {
+    const double lo = std::max(a.y1, b.y1);
+    const double hi = std::min(a.y2, b.y2);
+    if (hi > lo) {
+      run.overlap = hi - lo;
+      run.distance = std::abs(a.x1 - b.x1);
+    }
+  }
+  return run;
+}
+
+}  // namespace tka::layout

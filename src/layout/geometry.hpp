@@ -1,0 +1,42 @@
+// Minimal 2-D geometry for placement and route-proximity extraction.
+// Distances are in micrometers.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace tka::layout {
+
+struct XY {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const XY&, const XY&) = default;
+};
+
+/// Axis-aligned wire segment; normalized so (x1,y1) <= (x2,y2) along the
+/// running axis. A zero-length segment is allowed (via stubs).
+struct Segment {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  bool horizontal() const { return y1 == y2; }
+  bool vertical() const { return x1 == x2; }
+  double length() const { return std::abs(x2 - x1) + std::abs(y2 - y1); }
+};
+
+/// Creates a normalized horizontal segment at y spanning [xa, xb].
+Segment make_h(double y, double xa, double xb);
+/// Creates a normalized vertical segment at x spanning [ya, yb].
+Segment make_v(double x, double ya, double yb);
+
+/// Parallel-run descriptor between two segments of the same orientation.
+struct ParallelRun {
+  double overlap = 0.0;   ///< common-span length (um); 0 when none
+  double distance = 0.0;  ///< perpendicular separation (um)
+};
+
+/// Overlap/separation of two same-orientation segments; overlap 0 when the
+/// segments have different orientations or disjoint spans.
+ParallelRun parallel_run(const Segment& a, const Segment& b);
+
+}  // namespace tka::layout

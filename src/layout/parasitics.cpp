@@ -1,0 +1,55 @@
+#include "layout/parasitics.hpp"
+
+#include "util/assert.hpp"
+
+namespace tka::layout {
+
+net::NetId CouplingCap::other(net::NetId n) const {
+  TKA_ASSERT(n == net_a || n == net_b);
+  return n == net_a ? net_b : net_a;
+}
+
+void Parasitics::add_ground_cap(net::NetId n, double pf) {
+  TKA_ASSERT(n < num_nets());
+  TKA_ASSERT(pf >= 0.0);
+  ground_cap_pf_[n] += pf;
+}
+
+void Parasitics::add_wire_res(net::NetId n, double kohm) {
+  TKA_ASSERT(n < num_nets());
+  TKA_ASSERT(kohm >= 0.0);
+  wire_res_kohm_[n] += kohm;
+}
+
+CapId Parasitics::add_coupling(net::NetId a, net::NetId b, double cap_pf) {
+  TKA_ASSERT(a < num_nets() && b < num_nets());
+  TKA_ASSERT(a != b);
+  TKA_ASSERT(cap_pf > 0.0);
+  const CapId id = static_cast<CapId>(couplings_.size());
+  couplings_.push_back({a, b, cap_pf});
+  couplings_of_[a].push_back(id);
+  couplings_of_[b].push_back(id);
+  return id;
+}
+
+double Parasitics::total_coupling_cap(net::NetId n) const {
+  double total = 0.0;
+  for (CapId id : couplings_of_.at(n)) total += couplings_[id].cap_pf;
+  return total;
+}
+
+void Parasitics::zero_coupling(CapId id) {
+  TKA_ASSERT(id < couplings_.size());
+  couplings_[id].cap_pf = 0.0;
+}
+
+void Parasitics::shield_coupling(CapId id) {
+  TKA_ASSERT(id < couplings_.size());
+  CouplingCap& cc = couplings_[id];
+  if (cc.cap_pf <= 0.0) return;
+  add_ground_cap(cc.net_a, cc.cap_pf);
+  add_ground_cap(cc.net_b, cc.cap_pf);
+  cc.cap_pf = 0.0;
+}
+
+}  // namespace tka::layout

@@ -1,0 +1,78 @@
+// Extracted parasitics: per-net wire RC plus the list of coupling
+// capacitances. Coupling caps are the atoms of the whole analysis — a
+// "top-k aggressor set" is a set of CapIds.
+#pragma once
+
+#include <cstddef>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/netlist.hpp"
+
+namespace tka::layout {
+
+/// Identifier of one coupling capacitance (aggressor-victim coupling).
+using CapId = std::uint32_t;
+
+inline constexpr CapId kInvalidCap = std::numeric_limits<CapId>::max();
+
+/// One coupling capacitance between two nets. Couplings are symmetric:
+/// either side can be victim with the other as aggressor.
+struct CouplingCap {
+  net::NetId net_a = net::kInvalidNet;
+  net::NetId net_b = net::kInvalidNet;
+  double cap_pf = 0.0;
+
+  /// The other end relative to `n` (asserts n is one of the two).
+  net::NetId other(net::NetId n) const;
+};
+
+/// Per-net wire parasitics plus the coupling list.
+class Parasitics {
+ public:
+  explicit Parasitics(size_t num_nets)
+      : ground_cap_pf_(num_nets, 0.0), wire_res_kohm_(num_nets, 0.0),
+        couplings_of_(num_nets) {}
+
+  size_t num_nets() const { return ground_cap_pf_.size(); }
+  size_t num_couplings() const { return couplings_.size(); }
+
+  /// Adds wire ground capacitance / resistance to a net.
+  void add_ground_cap(net::NetId n, double pf);
+  void add_wire_res(net::NetId n, double kohm);
+
+  double ground_cap(net::NetId n) const { return ground_cap_pf_.at(n); }
+  double wire_res(net::NetId n) const { return wire_res_kohm_.at(n); }
+
+  /// Registers a coupling cap; returns its id. net_a != net_b, cap > 0.
+  CapId add_coupling(net::NetId a, net::NetId b, double cap_pf);
+
+  const CouplingCap& coupling(CapId id) const { return couplings_.at(id); }
+  const std::vector<CouplingCap>& couplings() const { return couplings_; }
+
+  /// Ids of all couplings touching net `n`.
+  const std::vector<CapId>& couplings_of(net::NetId n) const {
+    return couplings_of_.at(n);
+  }
+
+  /// Sum of coupling caps touching `n` (part of the net's total load).
+  double total_coupling_cap(net::NetId n) const;
+
+  /// Removes a coupling from analysis by zeroing it (ids stay stable; the
+  /// noise engine skips zero caps). Used by elimination workflows.
+  void zero_coupling(CapId id);
+
+  /// Models fixing a coupling with a grounded shield: the coupling cap is
+  /// zeroed and each side keeps an equivalent capacitance to ground, so
+  /// the noise path disappears but the wire loading stays.
+  void shield_coupling(CapId id);
+
+ private:
+  std::vector<double> ground_cap_pf_;
+  std::vector<double> wire_res_kohm_;
+  std::vector<CouplingCap> couplings_;
+  std::vector<std::vector<CapId>> couplings_of_;
+};
+
+}  // namespace tka::layout

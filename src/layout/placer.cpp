@@ -1,0 +1,50 @@
+#include "layout/placer.hpp"
+
+#include <algorithm>
+
+#include "net/topo.hpp"
+#include "util/assert.hpp"
+
+namespace tka::layout {
+
+XY Placement::driver_of(const net::Netlist& nl, net::NetId n) const {
+  const net::Net& net = nl.net(n);
+  if (net.driver == net::kInvalidGate) return primary_input(n);
+  return gate(net.driver);
+}
+
+Placement grid_place(const net::Netlist& nl, const PlacerOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<int> levels = net_levels(nl);
+
+  // Column of a gate = level of its output net; row = order within level.
+  std::vector<XY> gate_xy(nl.num_gates());
+  std::vector<int> level_fill;  // next free row per level
+  for (net::GateId g = 0; g < nl.num_gates(); ++g) {
+    const int lv = levels[nl.gate(g).output];
+    if (static_cast<size_t>(lv) >= level_fill.size()) level_fill.resize(lv + 1, 0);
+  }
+
+  for (net::GateId g = 0; g < nl.num_gates(); ++g) {
+    const int lv = levels[nl.gate(g).output];
+    const int row = level_fill[lv]++;
+    XY p;
+    p.x = lv * options.col_pitch + rng.next_double(-options.jitter, options.jitter);
+    p.y = row * options.row_pitch + rng.next_double(-options.jitter, options.jitter);
+    gate_xy[g] = p;
+  }
+
+  // Primary-input pads sit in column -1, rows in declaration order.
+  std::vector<XY> pi_xy(nl.num_nets());
+  int pi_row = 0;
+  for (net::NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!nl.net(n).is_primary_input) continue;
+    XY p;
+    p.x = -options.col_pitch;
+    p.y = pi_row++ * options.row_pitch;
+    pi_xy[n] = p;
+  }
+  return Placement(std::move(gate_xy), std::move(pi_xy));
+}
+
+}  // namespace tka::layout

@@ -1,0 +1,45 @@
+// Levelized grid placement. Stands in for the commercial APR tool in the
+// paper's flow: gates are placed column-by-logic-level with row jitter, so
+// nets of nearby levels run close together and couple — giving the same
+// locality structure real routed designs exhibit.
+#pragma once
+
+#include "layout/geometry.hpp"
+#include "net/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace tka::layout {
+
+/// Placement controls (um).
+struct PlacerOptions {
+  double col_pitch = 12.0;  ///< horizontal distance between logic levels
+  double row_pitch = 4.0;   ///< vertical distance between cells in a level
+  double jitter = 1.5;      ///< random displacement amplitude
+  std::uint64_t seed = 1;
+};
+
+/// Result: one location per gate and one per primary-input pin (indexed by
+/// net id for PIs).
+class Placement {
+ public:
+  Placement(std::vector<XY> gate_xy, std::vector<XY> pi_xy)
+      : gate_xy_(std::move(gate_xy)), pi_xy_(std::move(pi_xy)) {}
+
+  const XY& gate(net::GateId g) const { return gate_xy_.at(g); }
+
+  /// Location of a primary input pad (indexed by net id; only valid for
+  /// nets with is_primary_input).
+  const XY& primary_input(net::NetId n) const { return pi_xy_.at(n); }
+
+  /// Driver location of a net (gate output pin or PI pad).
+  XY driver_of(const net::Netlist& nl, net::NetId n) const;
+
+ private:
+  std::vector<XY> gate_xy_;
+  std::vector<XY> pi_xy_;  // sized num_nets; meaningful only for PIs
+};
+
+/// Places all gates on the level grid.
+Placement grid_place(const net::Netlist& nl, const PlacerOptions& options);
+
+}  // namespace tka::layout

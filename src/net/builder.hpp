@@ -1,0 +1,22 @@
+// Canonical small netlists used throughout tests and examples: chains,
+// balanced trees, and the classic c17 benchmark. All use the default cell
+// library.
+#pragma once
+
+#include <memory>
+
+#include "net/netlist.hpp"
+
+namespace tka::net {
+
+/// Chain of `length` single-input gates (alternating INVX1/BUFX1) from one
+/// primary input to one primary output.
+std::unique_ptr<Netlist> make_chain(int length, const std::string& name = "chain");
+
+/// Balanced binary NAND2 tree with 2^depth primary inputs and one output.
+std::unique_ptr<Netlist> make_nand_tree(int depth, const std::string& name = "tree");
+
+/// ISCAS-85 c17: 5 inputs, 6 NAND2 gates, 2 outputs.
+std::unique_ptr<Netlist> make_c17();
+
+}  // namespace tka::net

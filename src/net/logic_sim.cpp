@@ -1,0 +1,70 @@
+#include "net/logic_sim.hpp"
+
+#include "net/topo.hpp"
+#include "util/assert.hpp"
+
+namespace tka::net {
+
+std::vector<bool> evaluate_netlist(const Netlist& nl,
+                                   const std::vector<bool>& pi_values) {
+  TKA_ASSERT(pi_values.size() == nl.num_nets());
+  std::vector<bool> value(nl.num_nets(), false);
+  for (NetId id : topological_nets(nl)) {
+    const Net& n = nl.net(id);
+    if (n.driver == kInvalidGate) {
+      value[id] = pi_values[id];
+      continue;
+    }
+    const Gate& g = nl.gate(n.driver);
+    // std::vector<bool> is a bitset and cannot view as std::span<const bool>.
+    bool ins[8];
+    TKA_ASSERT(g.inputs.size() <= 8);
+    for (size_t i = 0; i < g.inputs.size(); ++i) ins[i] = value[g.inputs[i]];
+    value[id] = eval_cell(nl.cell_of(n.driver).func,
+                          std::span<const bool>(ins, g.inputs.size()));
+  }
+  return value;
+}
+
+bool ToggleProfile::both_toggled(NetId a, NetId b) const {
+  const auto& wa = toggle_words[a];
+  const auto& wb = toggle_words[b];
+  for (size_t i = 0; i < wa.size(); ++i) {
+    if (wa[i] & wb[i]) return true;
+  }
+  return false;
+}
+
+ToggleProfile profile_toggles(const Netlist& nl, int num_events,
+                              std::uint64_t seed, double flip_prob) {
+  TKA_ASSERT(num_events > 0);
+  Rng rng(seed);
+  ToggleProfile profile;
+  profile.num_events = num_events;
+  profile.toggle_count.assign(nl.num_nets(), 0);
+  const size_t words = (static_cast<size_t>(num_events) + 63) / 64;
+  profile.toggle_words.assign(nl.num_nets(), std::vector<std::uint64_t>(words, 0));
+
+  std::vector<bool> v1(nl.num_nets(), false);
+  for (int event = 0; event < num_events; ++event) {
+    // Fresh base vector, then independent flips.
+    std::vector<bool> base(nl.num_nets(), false);
+    for (NetId n : nl.primary_inputs()) base[n] = rng.next_bool(0.5);
+    std::vector<bool> flipped = base;
+    for (NetId n : nl.primary_inputs()) {
+      if (rng.next_bool(flip_prob)) flipped[n] = !flipped[n];
+    }
+    const std::vector<bool> val1 = evaluate_netlist(nl, base);
+    const std::vector<bool> val2 = evaluate_netlist(nl, flipped);
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      if (val1[n] != val2[n]) {
+        profile.toggle_count[n]++;
+        profile.toggle_words[n][static_cast<size_t>(event) / 64] |=
+            (1ULL << (static_cast<size_t>(event) % 64));
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace tka::net

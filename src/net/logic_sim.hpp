@@ -1,0 +1,36 @@
+// Random-vector combinational logic simulation. Used by the functional
+// false-aggressor filter (paper refs [10],[11]): an aggressor-victim pair
+// whose nets never toggle in the same input event cannot interact, however
+// strongly they couple.
+#pragma once
+
+#include <vector>
+
+#include "net/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace tka::net {
+
+/// Evaluates every net for one primary-input assignment (indexed by NetId;
+/// entries for non-PI nets are ignored).
+std::vector<bool> evaluate_netlist(const Netlist& nl, const std::vector<bool>& pi_values);
+
+/// Per-net toggle activity over random input-vector *pairs* — each event is
+/// (v1, v2) with every PI flipping independently with probability
+/// `flip_prob`; a net "toggles" when its value differs between v1 and v2.
+struct ToggleProfile {
+  /// toggle_count[n] = events in which net n toggled.
+  std::vector<int> toggle_count;
+  /// pair_toggles is consulted via `both_toggled`.
+  std::vector<std::vector<std::uint64_t>> toggle_words;  // bitset per net
+  int num_events = 0;
+
+  /// True if nets a and b toggled together in at least one event.
+  bool both_toggled(NetId a, NetId b) const;
+};
+
+/// Simulates `num_events` random vector pairs.
+ToggleProfile profile_toggles(const Netlist& nl, int num_events,
+                              std::uint64_t seed, double flip_prob = 0.5);
+
+}  // namespace tka::net

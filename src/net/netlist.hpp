@@ -1,0 +1,112 @@
+// Gate-level netlist: a DAG of gates connected by single-driver nets.
+//
+// Nets are the unit the whole analysis is expressed in: timing windows,
+// coupling capacitances, aggressor-victim relations and top-k sets all
+// refer to NetIds. A net is driven either by a primary input or by exactly
+// one gate output, and fans out to zero or more gate input pins and
+// optionally a primary output.
+#pragma once
+
+#include <cstddef>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/cell_library.hpp"
+#include "util/assert.hpp"
+
+namespace tka::net {
+
+using NetId = std::uint32_t;
+using GateId = std::uint32_t;
+
+inline constexpr NetId kInvalidNet = std::numeric_limits<NetId>::max();
+inline constexpr GateId kInvalidGate = std::numeric_limits<GateId>::max();
+
+/// A gate instance.
+struct Gate {
+  std::string name;
+  size_t cell_index = 0;          ///< into the netlist's CellLibrary
+  std::vector<NetId> inputs;      ///< fanin nets, pin order
+  NetId output = kInvalidNet;     ///< driven net
+};
+
+/// One fanout connection of a net: which gate and which input pin.
+struct PinRef {
+  GateId gate = kInvalidGate;
+  int pin = 0;
+
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// A net (signal).
+struct Net {
+  std::string name;
+  GateId driver = kInvalidGate;   ///< kInvalidGate for primary inputs
+  std::vector<PinRef> fanouts;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+};
+
+/// Mutable netlist under construction; becomes effectively immutable once
+/// analysis starts (analyzers take const references).
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary& library, std::string name = "top")
+      : library_(&library), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const CellLibrary& library() const { return *library_; }
+
+  // --- Construction ---
+
+  /// Adds a primary-input net.
+  NetId add_primary_input(const std::string& name);
+
+  /// Adds a gate of `cell_index` with the given fanin nets; creates and
+  /// returns the output net (named `out_name` or derived from the gate).
+  /// The fanin count must match the cell's num_inputs.
+  NetId add_gate(size_t cell_index, const std::vector<NetId>& inputs,
+                 const std::string& gate_name, const std::string& out_name = {});
+
+  /// Marks a net as a primary output.
+  void mark_primary_output(NetId net);
+
+  // --- Access ---
+
+  size_t num_gates() const { return gates_.size(); }
+  size_t num_nets() const { return nets_.size(); }
+
+  const Gate& gate(GateId id) const {
+    TKA_ASSERT(id < gates_.size());
+    return gates_[id];
+  }
+  const Net& net(NetId id) const {
+    TKA_ASSERT(id < nets_.size());
+    return nets_[id];
+  }
+  const CellType& cell_of(GateId id) const { return library_->cell(gate(id).cell_index); }
+
+  /// All primary input / output net ids.
+  std::vector<NetId> primary_inputs() const;
+  std::vector<NetId> primary_outputs() const;
+
+  /// Net id by name; throws tka::Error when absent.
+  NetId net_by_name(const std::string& name) const;
+  /// True when a net named `name` exists.
+  bool has_net(const std::string& name) const;
+
+  /// Structural validation: every net driven or PI, gate pin counts match
+  /// their cells, the gate graph is acyclic. Throws tka::Error on failure.
+  void validate() const;
+
+ private:
+  const CellLibrary* library_;
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace tka::net

@@ -1,0 +1,74 @@
+#include "noise/aggressor_filter.hpp"
+
+#include <memory>
+
+#include "net/logic_sim.hpp"
+#include "util/assert.hpp"
+
+namespace tka::noise {
+
+AggressorFilter::AggressorFilter(const net::Netlist& nl, const layout::Parasitics& par,
+                                 const NoiseAnalyzer& analyzer,
+                                 EnvelopeBuilder& builder, const FilterOptions& opt)
+    : par_(&par), false_side_(2 * par.num_couplings(), 0) {
+  const CouplingMask all = CouplingMask::all(par.num_couplings());
+
+  std::unique_ptr<net::ToggleProfile> toggles;
+  if (opt.functional) {
+    toggles = std::make_unique<net::ToggleProfile>(net::profile_toggles(
+        nl, opt.functional_events, opt.functional_seed));
+  }
+  // Dominance interval per victim net is computed lazily (many nets have no
+  // couplings at all).
+  std::vector<char> have_iv(nl.num_nets(), 0);
+  std::vector<wave::DominanceInterval> iv(nl.num_nets());
+
+  for (layout::CapId id = 0; id < par.num_couplings(); ++id) {
+    const layout::CouplingCap& cc = par.coupling(id);
+    for (const net::NetId victim : {cc.net_a, cc.net_b}) {
+      const size_t side = side_index(victim, id);
+      if (cc.cap_pf <= 0.0) {
+        false_side_[side] = 1;
+        ++num_filtered_;
+        continue;
+      }
+      const wave::PulseShape shape = builder.pulse_shape(victim, id);
+      if (shape.peak < opt.min_peak_v) {
+        false_side_[side] = 1;
+        ++num_filtered_;
+        continue;
+      }
+      if (toggles != nullptr &&
+          !toggles->both_toggled(victim, cc.other(victim))) {
+        false_side_[side] = 1;
+        ++num_filtered_;
+        continue;
+      }
+      if (!have_iv[victim]) {
+        iv[victim] = analyzer.dominance_interval(victim, builder, all);
+        iv[victim].lo -= opt.window_margin_ns;
+        iv[victim].hi += opt.window_margin_ns;
+        have_iv[victim] = 1;
+      }
+      const wave::Pwl& env = builder.envelope(victim, id);
+      // Zero inside the interval <=> the zero waveform encapsulates it there.
+      if (env.empty() ||
+          wave::Pwl::zero().encapsulates(env, iv[victim].lo, iv[victim].hi, 1e-12)) {
+        false_side_[side] = 1;
+        ++num_filtered_;
+      }
+    }
+  }
+}
+
+size_t AggressorFilter::side_index(net::NetId victim, layout::CapId cap) const {
+  const layout::CouplingCap& cc = par_->coupling(cap);
+  TKA_ASSERT(victim == cc.net_a || victim == cc.net_b);
+  return 2 * static_cast<size_t>(cap) + (victim == cc.net_b ? 1 : 0);
+}
+
+bool AggressorFilter::is_false(net::NetId victim, layout::CapId cap) const {
+  return false_side_[side_index(victim, cap)] != 0;
+}
+
+}  // namespace tka::noise

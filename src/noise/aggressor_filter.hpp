@@ -1,0 +1,58 @@
+// False-aggressor filtering (paper refs [10],[11], simplified).
+//
+// Two pruning rules, both conservative (a filtered coupling provably cannot
+// contribute delay noise to that victim):
+//  * timing: the aggressor's envelope is identically zero inside the
+//    victim's dominance interval — the aggressor can never hit the victim
+//    transition, even with propagated-noise widening (the interval already
+//    includes the delay-noise upper bound).
+//  * magnitude: the characterized pulse peak is below a noise floor
+//    (industrial practice thresholds tiny couplings).
+#pragma once
+
+#include <cstddef>
+
+#include "noise/noise_analyzer.hpp"
+
+namespace tka::noise {
+
+/// Filtering thresholds.
+struct FilterOptions {
+  double min_peak_v = 1e-4;       ///< pulses below this peak are noise floor
+  double window_margin_ns = 0.0;  ///< extra slack added around the interval
+
+  /// Optional functional filtering (paper refs [10],[11], simplified):
+  /// random-vector logic simulation marks a coupling side false when the
+  /// aggressor and victim never toggled in the same input event. This is a
+  /// statistical heuristic, not a proof — more events make it safer — so it
+  /// defaults off; the timing/magnitude rules above are conservative.
+  bool functional = false;
+  int functional_events = 256;
+  std::uint64_t functional_seed = 1;
+};
+
+/// Per-victim false-aggressor decisions, precomputed over all couplings.
+class AggressorFilter {
+ public:
+  /// Evaluates all (victim, cap) sides under the builder's windows.
+  AggressorFilter(const net::Netlist& nl, const layout::Parasitics& par,
+                  const NoiseAnalyzer& analyzer, EnvelopeBuilder& builder,
+                  const FilterOptions& options = {});
+
+  /// True when `cap` can never produce delay noise on `victim`.
+  bool is_false(net::NetId victim, layout::CapId cap) const;
+
+  /// Number of (victim, cap) sides filtered out.
+  size_t num_filtered() const { return num_filtered_; }
+  /// Total number of (victim, cap) sides considered.
+  size_t num_sides() const { return false_side_.size(); }
+
+ private:
+  size_t side_index(net::NetId victim, layout::CapId cap) const;
+
+  const layout::Parasitics* par_;
+  std::vector<char> false_side_;  // [2 * cap + (victim == net_b)]
+  size_t num_filtered_ = 0;
+};
+
+}  // namespace tka::noise

@@ -1,0 +1,116 @@
+#include "noise/alignment.hpp"
+
+#include <algorithm>
+
+#include "noise/noise_analyzer.hpp"
+#include "util/assert.hpp"
+#include "wave/ramp.hpp"
+
+namespace tka::noise {
+
+double delay_noise_at_alignment(const std::vector<AlignedAggressor>& aggressors,
+                                const std::vector<double>& starts,
+                                double victim_t50, double victim_trans,
+                                double vdd) {
+  TKA_ASSERT(starts.size() == aggressors.size());
+  std::vector<wave::Pwl> pulses;
+  pulses.reserve(aggressors.size());
+  std::vector<const wave::Pwl*> terms;
+  for (size_t i = 0; i < aggressors.size(); ++i) {
+    pulses.push_back(wave::make_pulse(aggressors[i].shape, starts[i]));
+    if (!pulses.back().empty()) terms.push_back(&pulses.back());
+  }
+  const wave::Pwl combined = wave::Pwl::sum(terms);
+  const wave::Pwl vic = wave::make_rising_ramp(victim_t50, victim_trans, vdd);
+  return delay_noise(vic, combined, vdd, victim_t50);
+}
+
+namespace {
+
+// Candidate start times for one aggressor: a uniform grid over its window.
+std::vector<double> window_grid(const AlignedAggressor& a, int points) {
+  TKA_ASSERT(a.start_max >= a.start_min);
+  std::vector<double> grid;
+  if (a.start_max - a.start_min < 1e-12 || points <= 1) {
+    grid.push_back(a.start_min);
+    return grid;
+  }
+  grid.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(a.start_min +
+                   (a.start_max - a.start_min) * i / (points - 1));
+  }
+  return grid;
+}
+
+}  // namespace
+
+AlignmentResult worst_alignment(const std::vector<AlignedAggressor>& aggressors,
+                                double victim_t50, double victim_trans,
+                                double vdd, const AlignmentOptions& opt) {
+  AlignmentResult best;
+  if (aggressors.empty()) return best;
+
+  std::vector<std::vector<double>> grids;
+  grids.reserve(aggressors.size());
+  for (const AlignedAggressor& a : aggressors) {
+    grids.push_back(window_grid(a, opt.grid_points));
+  }
+
+  auto evaluate = [&](const std::vector<double>& starts) {
+    const double dn = delay_noise_at_alignment(aggressors, starts, victim_t50,
+                                               victim_trans, vdd);
+    if (dn > best.delay_noise || best.starts.empty()) {
+      best.delay_noise = dn;
+      best.starts = starts;
+    }
+  };
+
+  if (aggressors.size() <= static_cast<size_t>(opt.max_exhaustive)) {
+    // Full grid product.
+    std::vector<size_t> idx(aggressors.size(), 0);
+    std::vector<double> starts(aggressors.size());
+    for (;;) {
+      for (size_t i = 0; i < idx.size(); ++i) starts[i] = grids[i][idx[i]];
+      evaluate(starts);
+      size_t pos = 0;
+      while (pos < idx.size() && ++idx[pos] == grids[pos].size()) {
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == idx.size()) break;
+    }
+    return best;
+  }
+
+  // Coordinate descent from the late edge (the usual worst case: every
+  // pulse as close to the victim transition as its window allows).
+  std::vector<double> starts;
+  starts.reserve(aggressors.size());
+  for (const AlignedAggressor& a : aggressors) starts.push_back(a.start_max);
+  evaluate(starts);
+  for (int round = 0; round < opt.refine_rounds; ++round) {
+    bool improved = false;
+    for (size_t i = 0; i < aggressors.size(); ++i) {
+      double local_best = best.delay_noise;
+      double local_start = best.starts[i];
+      std::vector<double> trial = best.starts;
+      for (double s : grids[i]) {
+        trial[i] = s;
+        const double dn = delay_noise_at_alignment(aggressors, trial, victim_t50,
+                                                   victim_trans, vdd);
+        if (dn > local_best) {
+          local_best = dn;
+          local_start = s;
+          improved = true;
+        }
+      }
+      best.starts[i] = local_start;
+      best.delay_noise = local_best;
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace tka::noise

@@ -1,0 +1,55 @@
+// Exact worst-case aggressor alignment search (paper refs [5],[6],[7]).
+//
+// The production analysis bounds all alignments at once with trapezoidal
+// envelopes; this module solves the underlying optimization directly: pick
+// one switching instant per aggressor inside its timing window so the
+// superposed pulses maximize the victim's delay noise. Exponential in the
+// aggressor count, so it is a validation/diagnostic tool: the envelope
+// bound must always be >= the exact optimum, and for few aggressors the
+// gap quantifies the envelope method's pessimism.
+#pragma once
+
+#include <vector>
+
+#include "sta/timing_graph.hpp"
+#include "wave/pulse.hpp"
+#include "wave/pwl.hpp"
+
+namespace tka::noise {
+
+/// One aggressor for the alignment search: its characterized pulse and the
+/// window of admissible *pulse start* times (transition-start referenced).
+struct AlignedAggressor {
+  wave::PulseShape shape;
+  double start_min = 0.0;  ///< earliest pulse start (ns)
+  double start_max = 0.0;  ///< latest pulse start (>= start_min)
+};
+
+/// Search controls.
+struct AlignmentOptions {
+  int grid_points = 24;     ///< per-window samples in the exhaustive phase
+  int max_exhaustive = 3;   ///< up to this many aggressors: full grid search
+  int refine_rounds = 4;    ///< coordinate-descent rounds (> exhaustive size)
+};
+
+/// Result of the search.
+struct AlignmentResult {
+  double delay_noise = 0.0;          ///< best found (ns)
+  std::vector<double> starts;        ///< chosen pulse start per aggressor
+};
+
+/// Finds the aggressor alignment maximizing the delay noise on a rising
+/// victim ramp with the given t50/transition. Exhaustive on the grid for up
+/// to max_exhaustive aggressors; greedy coordinate descent (seeded at the
+/// late edges) beyond that, which is a lower bound on the true optimum.
+AlignmentResult worst_alignment(const std::vector<AlignedAggressor>& aggressors,
+                                double victim_t50, double victim_trans,
+                                double vdd, const AlignmentOptions& options = {});
+
+/// Delay noise for one explicit alignment (pulse start per aggressor).
+double delay_noise_at_alignment(const std::vector<AlignedAggressor>& aggressors,
+                                const std::vector<double>& starts,
+                                double victim_t50, double victim_trans,
+                                double vdd);
+
+}  // namespace tka::noise

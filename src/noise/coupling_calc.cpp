@@ -1,0 +1,58 @@
+#include "noise/coupling_calc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/coupled_rc.hpp"
+#include "util/assert.hpp"
+
+namespace tka::noise {
+
+wave::PulseShape AnalyticCouplingCalculator::pulse(net::NetId victim,
+                                                   layout::CapId cap,
+                                                   double agg_trans_ns) const {
+  const layout::CouplingCap& cc = par_->coupling(cap);
+  TKA_ASSERT(victim == cc.net_a || victim == cc.net_b);
+  wave::PulseShape shape;
+  if (cc.cap_pf <= 0.0) return shape;  // zeroed (fixed) coupling
+
+  const double rv = model_->driver_res_kohm(victim);
+  // Victim load as seen by the noise event; net_load_pf already includes
+  // the coupling caps via the Miller factor, which is what we want here.
+  const double cv = model_->net_load_pf(victim);
+  const double tr = std::max(agg_trans_ns, 1e-4);
+  const double tau = rv * (cv + cc.cap_pf);
+  const double vdd = model_->options().vdd;
+
+  shape.peak = vdd * (rv * cc.cap_pf / tr) * (1.0 - std::exp(-tr / tau));
+  shape.rise = tr;
+  shape.tau = std::max(tau, 1e-4);
+  return shape;
+}
+
+wave::PulseShape SimCouplingCalculator::pulse(net::NetId victim,
+                                              layout::CapId cap,
+                                              double agg_trans_ns) const {
+  const layout::CouplingCap& cc = par_->coupling(cap);
+  TKA_ASSERT(victim == cc.net_a || victim == cc.net_b);
+  wave::PulseShape zero;
+  if (cc.cap_pf <= 0.0) return zero;
+
+  const net::NetId aggressor = cc.other(victim);
+  circuit::CoupledRcParams p;
+  p.rv = model_->driver_res_kohm(victim);
+  p.ra = model_->driver_res_kohm(aggressor);
+  // Split each net's ground-side load across the pi template.
+  const double cv = std::max(model_->net_load_pf(victim) - cc.cap_pf, 1e-5);
+  const double ca = std::max(model_->net_load_pf(aggressor) - cc.cap_pf, 1e-5);
+  p.c1v = 0.5 * cv;
+  p.c2v = 0.5 * cv;
+  p.c1a = 0.5 * ca;
+  p.c2a = 0.5 * ca;
+  p.cc = cc.cap_pf;
+  p.vdd = model_->options().vdd;
+  p.agg_trans = std::max(agg_trans_ns, 1e-4);
+  return circuit::characterize_noise_pulse(p);
+}
+
+}  // namespace tka::noise

@@ -1,0 +1,68 @@
+// Noise-pulse characterization for one coupling capacitance.
+//
+// Two interchangeable calculators:
+//  * AnalyticCouplingCalculator — single-pole closed form; this is what the
+//    analysis engines use (the paper's "linear noise framework" trade of
+//    accuracy for runtime, §2).
+//  * SimCouplingCalculator — drives the MNA coupled-RC template; slower,
+//    used in tests and the accuracy ablation to bound the closed-form
+//    error.
+//
+// Closed form (victim held by Rv, total victim cap Cv, coupling Cc,
+// aggressor transition tr):
+//   tau = Rv * (Cv + Cc)
+//   Vp  = Vdd * (Rv * Cc / tr) * (1 - exp(-tr / tau))
+// which approaches the charge-sharing bound Vdd * Cc / (Cv + Cc) for fast
+// aggressors and rolls off as 1/tr for slow ones.
+#pragma once
+
+#include "layout/parasitics.hpp"
+#include "sta/analyzer.hpp"
+#include "sta/delay_model.hpp"
+#include "wave/pulse.hpp"
+
+namespace tka::noise {
+
+/// Interface: pulse shape coupled onto `victim` by the aggressor on the
+/// other side of `cap`, given the aggressor's output transition time.
+class CouplingCalculator {
+ public:
+  virtual ~CouplingCalculator() = default;
+
+  /// Characterizes the noise pulse. `agg_trans_ns` is the aggressor net's
+  /// transition (0-100%). Returns a zero-peak shape for a zeroed cap.
+  virtual wave::PulseShape pulse(net::NetId victim, layout::CapId cap,
+                                 double agg_trans_ns) const = 0;
+};
+
+/// Closed-form single-pole calculator.
+class AnalyticCouplingCalculator final : public CouplingCalculator {
+ public:
+  AnalyticCouplingCalculator(const layout::Parasitics& par, const sta::DelayModel& model)
+      : par_(&par), model_(&model) {}
+
+  wave::PulseShape pulse(net::NetId victim, layout::CapId cap,
+                         double agg_trans_ns) const override;
+
+ private:
+  const layout::Parasitics* par_;
+  const sta::DelayModel* model_;
+};
+
+/// MNA-template calculator (simulation-backed).
+class SimCouplingCalculator final : public CouplingCalculator {
+ public:
+  SimCouplingCalculator(const net::Netlist& nl, const layout::Parasitics& par,
+                        const sta::DelayModel& model)
+      : nl_(&nl), par_(&par), model_(&model) {}
+
+  wave::PulseShape pulse(net::NetId victim, layout::CapId cap,
+                         double agg_trans_ns) const override;
+
+ private:
+  const net::Netlist* nl_;
+  const layout::Parasitics* par_;
+  const sta::DelayModel* model_;
+};
+
+}  // namespace tka::noise

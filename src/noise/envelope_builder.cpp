@@ -1,0 +1,59 @@
+#include "noise/envelope_builder.hpp"
+
+#include "util/assert.hpp"
+
+namespace tka::noise {
+namespace {
+
+std::uint64_t key_of(net::NetId victim, layout::CapId cap) {
+  return (static_cast<std::uint64_t>(victim) << 32) | cap;
+}
+
+}  // namespace
+
+wave::PulseShape EnvelopeBuilder::pulse_shape(net::NetId victim,
+                                              layout::CapId cap) const {
+  const net::NetId aggressor = par_->coupling(cap).other(victim);
+  const sta::TimingWindow& aw = (*windows_)[aggressor];
+  return calc_->pulse(victim, cap, aw.trans_late);
+}
+
+wave::Pwl EnvelopeBuilder::build(net::NetId victim, layout::CapId cap,
+                                 double lat_extension) const {
+  const wave::PulseShape shape = pulse_shape(victim, cap);
+  if (shape.peak <= 0.0) return wave::Pwl();
+  const net::NetId aggressor = par_->coupling(cap).other(victim);
+  const sta::TimingWindow& aw = (*windows_)[aggressor];
+  // Pulse start = start of the aggressor transition.
+  const double start_eat = aw.eat - 0.5 * aw.trans_early;
+  const double start_lat = aw.lat + lat_extension - 0.5 * aw.trans_late;
+  return wave::make_trapezoidal_envelope(shape, start_eat,
+                                         std::max(start_lat, start_eat));
+}
+
+const wave::Pwl& EnvelopeBuilder::envelope(net::NetId victim, layout::CapId cap) {
+  const std::uint64_t key = key_of(victim, cap);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto [ins, _] = cache_.emplace(key, build(victim, cap, 0.0));
+  return ins->second;
+}
+
+wave::Pwl EnvelopeBuilder::envelope_widened(net::NetId victim, layout::CapId cap,
+                                            double lat_extension) const {
+  return build(victim, cap, lat_extension);
+}
+
+wave::Pwl EnvelopeBuilder::plateau_envelope(net::NetId victim, layout::CapId cap,
+                                            double t_lo, double t_hi) const {
+  TKA_ASSERT(t_hi >= t_lo);
+  const wave::PulseShape shape = pulse_shape(victim, cap);
+  if (shape.peak <= 0.0) return wave::Pwl();
+  // Rise into the plateau before t_lo, hold, decay after t_hi.
+  return wave::Pwl({{t_lo - shape.rise, 0.0},
+                    {t_lo, shape.peak},
+                    {t_hi, shape.peak},
+                    {t_hi + shape.tau, 0.0}});
+}
+
+}  // namespace tka::noise

@@ -1,0 +1,60 @@
+// Builds victim-referenced noise envelopes from characterized pulses and
+// aggressor timing windows, with per-(cap, victim) caching.
+//
+// The envelope of coupling `cap` on `victim` is the trapezoid obtained by
+// sweeping the aggressor transition over its window [EAT, LAT]; the pulse
+// leaves zero when the aggressor transition *starts*, i.e. at
+// t50_agg - trans/2 (paper Figure 2).
+#pragma once
+
+#include <unordered_map>
+
+#include "noise/coupling_calc.hpp"
+#include "sta/timing_graph.hpp"
+#include "wave/envelope.hpp"
+
+namespace tka::noise {
+
+/// Envelope factory bound to a window table. Windows are captured by
+/// reference: the iterative engine re-creates builders per iteration.
+class EnvelopeBuilder {
+ public:
+  EnvelopeBuilder(const net::Netlist& nl, const layout::Parasitics& par,
+                  const CouplingCalculator& calc, const sta::WindowTable& windows)
+      : nl_(&nl), par_(&par), calc_(&calc), windows_(&windows) {}
+
+  /// Trapezoidal envelope of `cap` on `victim` under the current windows.
+  /// Cached; an extra `lat_extension` (>0 for higher-order aggressors)
+  /// bypasses the cache and widens the aggressor window on the LAT side.
+  const wave::Pwl& envelope(net::NetId victim, layout::CapId cap);
+
+  /// Uncached variant with an explicitly widened aggressor window. A
+  /// negative `lat_extension` narrows the window (clamped at the EAT);
+  /// elimination-mode higher-order atoms use this to model window
+  /// narrowing when an aggressor's own noise is removed.
+  wave::Pwl envelope_widened(net::NetId victim, layout::CapId cap,
+                             double lat_extension) const;
+
+  /// "Infinite-window" plateau envelope spanning [t_lo, t_hi]: the pulse
+  /// peak held across the whole interval. Used for the delay-noise upper
+  /// bound that closes the dominance interval (paper §3.2).
+  wave::Pwl plateau_envelope(net::NetId victim, layout::CapId cap,
+                             double t_lo, double t_hi) const;
+
+  /// The characterized pulse shape for (victim, cap).
+  wave::PulseShape pulse_shape(net::NetId victim, layout::CapId cap) const;
+
+  const sta::WindowTable& windows() const { return *windows_; }
+
+ private:
+  wave::Pwl build(net::NetId victim, layout::CapId cap, double lat_extension) const;
+
+  const net::Netlist* nl_;
+  const layout::Parasitics* par_;
+  const CouplingCalculator* calc_;
+  const sta::WindowTable* windows_;
+  // Cache keyed by (victim, cap) — a cap has two victim sides.
+  std::unordered_map<std::uint64_t, wave::Pwl> cache_;
+};
+
+}  // namespace tka::noise

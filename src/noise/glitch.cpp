@@ -1,0 +1,61 @@
+#include "noise/glitch.hpp"
+
+#include <algorithm>
+
+#include "net/topo.hpp"
+#include "util/assert.hpp"
+
+namespace tka::noise {
+
+GlitchReport analyze_glitch(const net::Netlist& nl, const layout::Parasitics& par,
+                            const sta::DelayModel& model, EnvelopeBuilder& builder,
+                            const CouplingMask& mask,
+                            const GlitchModelOptions& opt) {
+  TKA_ASSERT(mask.size() == par.num_couplings());
+  const double vdd = model.options().vdd;
+  GlitchReport report;
+  report.coupled_peak_v.assign(nl.num_nets(), 0.0);
+  report.propagated_peak_v.assign(nl.num_nets(), 0.0);
+
+  // Direct coupled glitch: conservative functional model sums pulse peaks
+  // of all active aggressors (no timing-window credit on a quiet victim).
+  for (net::NetId v = 0; v < nl.num_nets(); ++v) {
+    double peak = 0.0;
+    for (layout::CapId id : par.couplings_of(v)) {
+      if (!mask.active(id)) continue;
+      peak += builder.pulse_shape(v, id).peak;
+    }
+    report.coupled_peak_v[v] = std::min(peak, vdd);
+  }
+
+  // Propagation in topological order: a receiving gate forwards the part of
+  // its worst input glitch above the threshold, amplified, and the result
+  // superposes with the output net's own coupled glitch.
+  const double threshold = opt.threshold_frac * vdd;
+  for (net::NetId v : net::topological_nets(nl)) {
+    double peak = report.coupled_peak_v[v];
+    const net::Net& n = nl.net(v);
+    if (n.driver != net::kInvalidGate) {
+      double worst_in = 0.0;
+      for (net::NetId in : nl.gate(n.driver).inputs) {
+        worst_in = std::max(worst_in, report.propagated_peak_v[in]);
+      }
+      if (worst_in > threshold) {
+        peak += opt.gain * (worst_in - threshold);
+      }
+    }
+    report.propagated_peak_v[v] = std::min(peak, vdd);
+    if (report.propagated_peak_v[v] > report.worst_peak_v) {
+      report.worst_peak_v = report.propagated_peak_v[v];
+      report.worst_net = v;
+    }
+  }
+
+  const double fail_level = opt.fail_frac * vdd;
+  for (net::NetId v = 0; v < nl.num_nets(); ++v) {
+    if (report.propagated_peak_v[v] > fail_level) report.failing_nets.push_back(v);
+  }
+  return report;
+}
+
+}  // namespace tka::noise

@@ -1,0 +1,46 @@
+// Functional (glitch) noise analysis — the companion of delay noise in a
+// static noise tool (paper refs [1],[2],[12]).
+//
+// Here the victim is *quiet*: coupled noise produces a voltage glitch that,
+// if it exceeds the receiving gate's noise margin, can propagate and flip
+// downstream logic. The analysis computes each net's worst glitch peak
+// (combined plateau envelopes, i.e. no timing-window credit — the standard
+// conservative functional-noise model), propagates glitches through
+// receivers with a piecewise-linear gain model, and reports violations
+// against a noise-margin threshold.
+#pragma once
+
+#include <vector>
+
+#include "noise/envelope_builder.hpp"
+#include "noise/noise_analyzer.hpp"
+
+namespace tka::noise {
+
+/// Receiver sensitivity model: a glitch below `threshold_frac * Vdd` at a
+/// gate input produces nothing; above it, the output glitch grows with
+/// `gain` (clamped at Vdd). This is the classic unity-gain-point style
+/// noise-rejection curve, linearized.
+struct GlitchModelOptions {
+  double threshold_frac = 0.35;  ///< receiver noise margin (fraction of Vdd)
+  double gain = 2.0;             ///< amplification past the threshold
+  double fail_frac = 0.45;       ///< report nets whose glitch exceeds this
+};
+
+/// Per-net glitch results.
+struct GlitchReport {
+  std::vector<double> coupled_peak_v;     ///< direct coupled glitch per net
+  std::vector<double> propagated_peak_v;  ///< including upstream propagation
+  std::vector<net::NetId> failing_nets;   ///< propagated peak > fail level
+  double worst_peak_v = 0.0;
+  net::NetId worst_net = net::kInvalidNet;
+};
+
+/// Runs functional noise analysis over every net. `builder` supplies the
+/// coupling pulse shapes (its windows are only used for aggressor slews).
+GlitchReport analyze_glitch(const net::Netlist& nl, const layout::Parasitics& par,
+                            const sta::DelayModel& model, EnvelopeBuilder& builder,
+                            const CouplingMask& mask,
+                            const GlitchModelOptions& options = {});
+
+}  // namespace tka::noise

@@ -1,0 +1,75 @@
+#include "noise/iterative.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace tka::noise {
+
+NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& par,
+                              const sta::DelayModel& model,
+                              const CouplingCalculator& calc,
+                              const CouplingMask& mask,
+                              const IterativeOptions& opt) {
+  TKA_ASSERT(mask.size() == par.num_couplings());
+  NoiseReport report;
+  NoiseAnalyzer analyzer(nl, par, model);
+
+  const sta::StaResult base = sta::run_sta(nl, model, opt.sta);
+  report.noiseless_windows = base.windows;
+  report.noiseless_delay = base.max_lat;
+
+  // Convergence is judged relative to the circuit scale: demanding
+  // sub-femtosecond stability on a long unbuffered path just burns
+  // iterations on noise-floor creep.
+  const double tol = std::max(opt.tolerance_ns, 1e-5 * std::abs(base.max_lat));
+
+  std::vector<double> bump(nl.num_nets(), 0.0);
+  if (opt.pessimistic_start) {
+    EnvelopeBuilder builder(nl, par, calc, base.windows);
+    for (net::NetId v = 0; v < nl.num_nets(); ++v) {
+      bump[v] = analyzer.delay_noise_upper_bound(v, builder, mask);
+    }
+  }
+
+  sta::StaResult current = base;
+  bool converged = false;
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    current = sta::run_sta(nl, model, opt.sta, &bump);
+    EnvelopeBuilder builder(nl, par, calc, current.windows);
+    double max_change = 0.0;
+    std::vector<double> next(nl.num_nets(), 0.0);
+    for (net::NetId v = 0; v < nl.num_nets(); ++v) {
+      // Anchor each victim at its upstream-noisy arrival *excluding its own
+      // bump*: a net cannot dodge its own delay noise, and letting it do so
+      // creates limit cycles on strongly coupled designs.
+      const double t50 = current.windows[v].lat - bump[v];
+      next[v] = analyzer.victim_delay_noise_at(v, builder, mask, t50);
+      max_change = std::max(max_change, std::abs(next[v] - bump[v]));
+    }
+    bump = std::move(next);
+    if (max_change < tol) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+  if (!converged) {
+    log::warn() << "analyze_iterative: no convergence after " << opt.max_iterations
+                << " iterations";
+  }
+
+  const sta::StaResult final_sta = sta::run_sta(nl, model, opt.sta, &bump);
+  report.noisy_windows = final_sta.windows;
+  report.delay_noise = std::move(bump);
+  report.noisy_delay = final_sta.max_lat;
+  report.worst_po = final_sta.worst_po;
+  report.iterations = iter;
+  report.converged = converged;
+  return report;
+}
+
+}  // namespace tka::noise

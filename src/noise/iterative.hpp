@@ -1,0 +1,44 @@
+// Iterative delay-noise / timing-window fixpoint (paper §1, refs [3],[4]).
+//
+// Delay noise widens timing windows downstream, which can create new
+// aggressor-victim overlaps, which adds more delay noise: the classic
+// chicken-and-egg. Iterate STA(with noise bumps) -> per-victim delay noise
+// -> new bumps until the bumps stop changing. The optimistic start (no
+// overlap assumed, bumps = 0) converges monotonically upward to the least
+// fixpoint; the pessimistic start (infinite-window upper bounds) converges
+// downward (refs [3],[4] prove convergence on the window lattice).
+#pragma once
+
+#include "noise/noise_analyzer.hpp"
+#include "sta/analyzer.hpp"
+
+namespace tka::noise {
+
+/// Controls for the fixpoint iteration.
+struct IterativeOptions {
+  int max_iterations = 25;
+  double tolerance_ns = 1e-4;      ///< max |bump change| for convergence
+  bool pessimistic_start = false;  ///< start from upper-bound bumps
+  sta::StaOptions sta;             ///< input arrivals etc.
+};
+
+/// Result of a full noise-aware timing analysis.
+struct NoiseReport {
+  sta::WindowTable noiseless_windows;  ///< plain STA windows
+  sta::WindowTable noisy_windows;      ///< windows at the fixpoint
+  std::vector<double> delay_noise;     ///< per-net noise bump at fixpoint
+  double noiseless_delay = 0.0;        ///< circuit delay without noise
+  double noisy_delay = 0.0;            ///< circuit delay with noise
+  net::NetId worst_po = net::kInvalidNet;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs the fixpoint with the given coupling mask.
+NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& par,
+                              const sta::DelayModel& model,
+                              const CouplingCalculator& calc,
+                              const CouplingMask& mask,
+                              const IterativeOptions& options = {});
+
+}  // namespace tka::noise

@@ -1,0 +1,53 @@
+#include "noise/violations.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tka::noise {
+
+ConstraintReport check_constraints(const net::Netlist& nl,
+                                   const noise::NoiseReport& report,
+                                   double clock_period_ns) {
+  TKA_ASSERT(clock_period_ns > 0.0);
+  ConstraintReport out;
+  out.clock_period_ns = clock_period_ns;
+  out.worst_slack_ns = std::numeric_limits<double>::infinity();
+
+  std::vector<net::NetId> endpoints = nl.primary_outputs();
+  if (endpoints.empty()) {
+    // Unconstrained design: treat every dangling net as an endpoint.
+    for (net::NetId n = 0; n < nl.num_nets(); ++n) {
+      if (nl.net(n).fanouts.empty()) endpoints.push_back(n);
+    }
+  }
+  for (net::NetId ep : endpoints) {
+    const double arrival = report.noisy_windows[ep].lat;
+    const double slack = clock_period_ns - arrival;
+    out.worst_slack_ns = std::min(out.worst_slack_ns, slack);
+    if (slack < 0.0) {
+      out.violations.push_back({ep, arrival, slack});
+      out.total_negative_slack_ns += slack;
+    }
+  }
+  std::sort(out.violations.begin(), out.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.slack_ns < b.slack_ns;
+            });
+  return out;
+}
+
+double suggest_stress_period(const noise::NoiseReport& report, double margin_frac) {
+  TKA_ASSERT(margin_frac >= 0.0);
+  // Between the noiseless and noisy delays, biased toward the noiseless
+  // side by the margin: the design passes without noise and fails with it.
+  // When the noise is smaller than the requested margin, fall back to the
+  // midpoint so the property (noiseless < period < noisy) still holds.
+  const double lo = report.noiseless_delay;
+  const double hi = report.noisy_delay;
+  const double margined = lo * (1.0 + margin_frac);
+  if (margined >= hi) return 0.5 * (lo + hi);
+  return margined + 0.25 * (hi - margined);
+}
+
+}  // namespace tka::noise

@@ -1,0 +1,43 @@
+// Timing constraints and noise violations.
+//
+// The paper's goal statement (§2) is "optimally minimizing the noise
+// violations in a design": a violation is an endpoint whose noisy arrival
+// breaks its setup constraint. This module evaluates a clock-period
+// constraint over a noise report, listing violating endpoints and their
+// negative slack, and quantifies how many violations a candidate top-k fix
+// actually clears.
+#pragma once
+
+#include <vector>
+
+#include "noise/iterative.hpp"
+
+namespace tka::noise {
+
+/// One failing endpoint.
+struct Violation {
+  net::NetId endpoint = net::kInvalidNet;
+  double arrival_ns = 0.0;
+  double slack_ns = 0.0;  ///< negative
+};
+
+/// Setup-check summary at a clock period.
+struct ConstraintReport {
+  double clock_period_ns = 0.0;
+  std::vector<Violation> violations;      ///< sorted worst-first
+  double worst_slack_ns = 0.0;            ///< min over endpoints (can be +)
+  double total_negative_slack_ns = 0.0;   ///< sum of negative slacks (<= 0)
+};
+
+/// Checks every primary output's *noisy* arrival against `clock_period`.
+ConstraintReport check_constraints(const net::Netlist& nl,
+                                   const noise::NoiseReport& report,
+                                   double clock_period_ns);
+
+/// Suggests a clock period that makes the noiseless design pass with
+/// `margin_frac` headroom but the noisy one fail — the operating point
+/// where the paper's mitigation loop matters.
+double suggest_stress_period(const noise::NoiseReport& report,
+                             double margin_frac = 0.05);
+
+}  // namespace tka::noise

@@ -1,0 +1,71 @@
+#include "sta/analyzer.hpp"
+
+#include <algorithm>
+
+#include "net/topo.hpp"
+#include "util/assert.hpp"
+
+namespace tka::sta {
+
+StaResult run_sta(const net::Netlist& nl, const DelayModel& model,
+                  const StaOptions& options, const std::vector<double>* lat_bump) {
+  if (lat_bump != nullptr) TKA_ASSERT(lat_bump->size() == nl.num_nets());
+
+  StaResult result;
+  result.windows.assign(nl.num_nets(), TimingWindow{});
+  result.gate_delay.assign(nl.num_gates(), 0.0);
+  result.gate_trans.assign(nl.num_gates(), 0.0);
+
+  for (net::GateId g = 0; g < nl.num_gates(); ++g) {
+    result.gate_delay[g] = model.gate_delay_ns(g);
+    result.gate_trans[g] = model.gate_trans_ns(g);
+  }
+
+  for (net::NetId id : net::topological_nets(nl)) {
+    const net::Net& n = nl.net(id);
+    TimingWindow& w = result.windows[id];
+    if (n.driver == net::kInvalidGate) {
+      InputArrival arr;
+      if (options.input_arrival) arr = options.input_arrival(id);
+      TKA_ASSERT(arr.lat >= arr.eat);
+      w.eat = arr.eat;
+      w.lat = arr.lat;
+      w.trans_early = w.trans_late = model.pi_trans_ns(id);
+    } else {
+      const net::Gate& g = nl.gate(n.driver);
+      double eat = std::numeric_limits<double>::infinity();
+      double lat = -std::numeric_limits<double>::infinity();
+      for (net::NetId in : g.inputs) {
+        const TimingWindow& wi = result.windows[in];
+        eat = std::min(eat, wi.eat);
+        lat = std::max(lat, wi.lat);
+      }
+      const double d = result.gate_delay[n.driver];
+      w.eat = eat + d;
+      w.lat = lat + d;
+      w.trans_early = w.trans_late = result.gate_trans[n.driver];
+    }
+    if (lat_bump != nullptr) w.lat += (*lat_bump)[id];
+    TKA_ASSERT(w.lat >= w.eat);
+  }
+
+  result.max_lat = -std::numeric_limits<double>::infinity();
+  for (net::NetId id : nl.primary_outputs()) {
+    if (result.windows[id].lat > result.max_lat) {
+      result.max_lat = result.windows[id].lat;
+      result.worst_po = id;
+    }
+  }
+  if (result.worst_po == net::kInvalidNet) {
+    // No declared primary outputs: fall back to the globally latest net.
+    for (net::NetId id = 0; id < nl.num_nets(); ++id) {
+      if (result.windows[id].lat > result.max_lat) {
+        result.max_lat = result.windows[id].lat;
+        result.worst_po = id;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tka::sta

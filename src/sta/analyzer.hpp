@@ -1,0 +1,48 @@
+// Static timing analysis: propagates earliest/latest arrival times (t50)
+// and transitions from the primary inputs through the DAG using the linear
+// delay model.
+//
+// The analyzer accepts an optional per-net LAT "bump" — extra latest-path
+// delay injected at a net. The iterative noise engine (noise/iterative.*)
+// uses bumps to fold the previous iteration's delay noise back into the
+// timing windows; the top-k engine uses them to widen individual aggressor
+// windows for higher-order aggressors.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sta/delay_model.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace tka::sta {
+
+/// Per-PI arrival specification.
+struct InputArrival {
+  double eat = 0.0;
+  double lat = 0.0;  ///< >= eat; a nonzero spread creates window diversity
+};
+
+/// STA controls.
+struct StaOptions {
+  /// Arrival lookup per primary-input net; nets not present default to 0/0.
+  std::function<InputArrival(net::NetId)> input_arrival;
+};
+
+/// Full STA result.
+struct StaResult {
+  WindowTable windows;             ///< per net
+  std::vector<double> gate_delay;  ///< per gate (pin-to-pin, ns)
+  std::vector<double> gate_trans;  ///< per gate output transition (ns)
+  double max_lat = 0.0;            ///< worst arrival over primary outputs
+  net::NetId worst_po = net::kInvalidNet;
+};
+
+/// Runs STA. `lat_bump`, when given, must have one entry per net; the value
+/// is added to the net's LAT as it is computed (and propagates downstream).
+StaResult run_sta(const net::Netlist& nl, const DelayModel& model,
+                  const StaOptions& options = {},
+                  const std::vector<double>* lat_bump = nullptr);
+
+}  // namespace tka::sta

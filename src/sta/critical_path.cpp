@@ -1,0 +1,74 @@
+#include "sta/critical_path.hpp"
+
+#include <algorithm>
+
+#include "net/topo.hpp"
+#include "util/assert.hpp"
+
+namespace tka::sta {
+
+TimingPath worst_path_to(const net::Netlist& nl, const StaResult& sta, net::NetId sink) {
+  TKA_ASSERT(sink < nl.num_nets());
+  TimingPath path;
+  path.arrival = sta.windows[sink].lat;
+  // Backtrack: at each gate pick the fanin whose LAT determined the output.
+  net::NetId cur = sink;
+  std::vector<net::NetId> rev;
+  rev.push_back(cur);
+  while (nl.net(cur).driver != net::kInvalidGate) {
+    const net::Gate& g = nl.gate(nl.net(cur).driver);
+    net::NetId best = g.inputs.front();
+    for (net::NetId in : g.inputs) {
+      if (sta.windows[in].lat > sta.windows[best].lat) best = in;
+    }
+    cur = best;
+    rev.push_back(cur);
+  }
+  path.nets.assign(rev.rbegin(), rev.rend());
+  return path;
+}
+
+TimingPath critical_path(const net::Netlist& nl, const StaResult& sta) {
+  TKA_ASSERT(sta.worst_po != net::kInvalidNet);
+  return worst_path_to(nl, sta, sta.worst_po);
+}
+
+std::vector<double> net_slacks(const net::Netlist& nl, const StaResult& sta) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> required(nl.num_nets(), inf);
+  for (net::NetId id : nl.primary_outputs()) required[id] = sta.max_lat;
+  if (nl.primary_outputs().empty()) {
+    // Fall back: anchor at the globally worst net.
+    required[sta.worst_po] = sta.max_lat;
+  }
+
+  const std::vector<net::NetId> order = net::topological_nets(nl);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const net::NetId id = *it;
+    // Required time of a fanin through gate g: required(out) - delay(g).
+    for (const net::PinRef& pin : nl.net(id).fanouts) {
+      const net::NetId out = nl.gate(pin.gate).output;
+      const double req = required[out] - sta.gate_delay[pin.gate];
+      required[id] = std::min(required[id], req);
+    }
+  }
+
+  std::vector<double> slack(nl.num_nets(), inf);
+  for (net::NetId id = 0; id < nl.num_nets(); ++id) {
+    if (required[id] < inf) slack[id] = required[id] - sta.windows[id].lat;
+  }
+  return slack;
+}
+
+std::vector<net::NetId> near_critical_nets(const net::Netlist& nl,
+                                           const StaResult& sta,
+                                           double slack_threshold) {
+  const std::vector<double> slack = net_slacks(nl, sta);
+  std::vector<net::NetId> out;
+  for (net::NetId id = 0; id < nl.num_nets(); ++id) {
+    if (slack[id] <= slack_threshold) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace tka::sta

@@ -1,0 +1,35 @@
+// Critical-path extraction and slack computation on top of an StaResult.
+// The top-k analysis must consider the critical and near-critical paths
+// (paper §1); slacks identify the near-critical net set.
+#pragma once
+
+#include <vector>
+
+#include "sta/analyzer.hpp"
+
+namespace tka::sta {
+
+/// One timing path: nets from a primary input to a sink, latest-arrival.
+struct TimingPath {
+  std::vector<net::NetId> nets;  ///< PI first, sink last
+  double arrival = 0.0;          ///< LAT at the sink
+};
+
+/// The single worst path ending at `sink` (by LAT backtracking).
+TimingPath worst_path_to(const net::Netlist& nl, const StaResult& sta,
+                         net::NetId sink);
+
+/// The circuit's critical path (worst path to the worst primary output).
+TimingPath critical_path(const net::Netlist& nl, const StaResult& sta);
+
+/// Per-net slack against the circuit's worst arrival: slack(n) = required(n)
+/// - lat(n), where required times propagate backward from every primary
+/// output anchored at max_lat.
+std::vector<double> net_slacks(const net::Netlist& nl, const StaResult& sta);
+
+/// Nets with slack <= threshold (the near-critical set).
+std::vector<net::NetId> near_critical_nets(const net::Netlist& nl,
+                                           const StaResult& sta,
+                                           double slack_threshold);
+
+}  // namespace tka::sta

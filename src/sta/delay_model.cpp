@@ -1,0 +1,53 @@
+#include "sta/delay_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tka::sta {
+
+double DelayModel::net_load_pf(net::NetId n) const {
+  const net::Net& net = nl_->net(n);
+  double load = par_->ground_cap(n);
+  load += opt_.miller_factor * par_->total_coupling_cap(n);
+  for (const net::PinRef& pin : net.fanouts) {
+    load += nl_->cell_of(pin.gate).input_cap_pf;
+  }
+  if (net.driver != net::kInvalidGate) {
+    load += nl_->cell_of(net.driver).output_cap_pf;
+  }
+  return load;
+}
+
+double DelayModel::driver_res_kohm(net::NetId n) const {
+  const net::Net& net = nl_->net(n);
+  const double wire_half = 0.5 * par_->wire_res(n);
+  if (net.driver == net::kInvalidGate) return kPadResKohm + wire_half;
+  return nl_->cell_of(net.driver).drive_res_kohm + wire_half;
+}
+
+double DelayModel::gate_delay_ns(net::GateId gate) const {
+  const net::Gate& g = nl_->gate(gate);
+  const net::CellType& cell = nl_->cell_of(gate);
+  const double load = net_load_pf(g.output);
+  const double r_wire = par_->wire_res(g.output);
+  return cell.intrinsic_delay_ns + (cell.drive_res_kohm + 0.5 * r_wire) * load;
+}
+
+double DelayModel::gate_trans_ns(net::GateId gate) const {
+  const net::Gate& g = nl_->gate(gate);
+  const net::CellType& cell = nl_->cell_of(gate);
+  const double load = net_load_pf(g.output);
+  const double r_wire = par_->wire_res(g.output);
+  const double t = opt_.trans_factor * (cell.drive_res_kohm + 0.5 * r_wire) * load;
+  return std::max(t, opt_.min_trans_ns);
+}
+
+double DelayModel::pi_trans_ns(net::NetId n) const {
+  TKA_ASSERT(nl_->net(n).is_primary_input);
+  const double load = net_load_pf(n);
+  const double t = opt_.trans_factor * driver_res_kohm(n) * load;
+  return std::max(t, opt_.min_trans_ns);
+}
+
+}  // namespace tka::sta

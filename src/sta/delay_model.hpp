@@ -1,0 +1,59 @@
+// Linear (Thevenin-style) gate delay model, as used by the paper's linear
+// noise framework:
+//
+//   load(v)      = wire ground cap + fanout input caps + driver self-load
+//                  + Miller-weighted coupling caps
+//   delay(g->v)  = intrinsic + R_drv * load(v) + R_wire(v) * load(v)/2
+//   trans(g->v)  = trans_factor * (R_drv + R_wire(v)/2) * load(v), floored
+//
+// The same model supplies the driver resistance and victim load used for
+// noise-pulse characterization, so STA and noise analysis are consistent.
+#pragma once
+
+#include "layout/parasitics.hpp"
+#include "net/netlist.hpp"
+
+namespace tka::sta {
+
+/// Delay-model controls.
+struct DelayModelOptions {
+  double miller_factor = 1.0;   ///< coupling-cap weight in the nominal load
+  double trans_factor = 1.4;    ///< output transition per unit RC
+  double min_trans_ns = 0.010;  ///< floor on any transition time
+  double vdd = 1.2;             ///< supply voltage (V)
+};
+
+/// Stateless calculator binding a netlist + parasitics + options.
+class DelayModel {
+ public:
+  DelayModel(const net::Netlist& nl, const layout::Parasitics& par,
+             const DelayModelOptions& options = {})
+      : nl_(&nl), par_(&par), opt_(options) {}
+
+  const DelayModelOptions& options() const { return opt_; }
+
+  /// Total capacitive load of a net (pF).
+  double net_load_pf(net::NetId n) const;
+
+  /// Effective driver resistance seen by net n: the driving cell's R_drv
+  /// plus half the wire resistance; for primary inputs, a pad resistance.
+  double driver_res_kohm(net::NetId n) const;
+
+  /// Pin-to-pin delay of `gate` (all input pins equal under this model).
+  double gate_delay_ns(net::GateId gate) const;
+
+  /// Output transition (0-100%) of `gate`'s driven net.
+  double gate_trans_ns(net::GateId gate) const;
+
+  /// Transition of a primary input net.
+  double pi_trans_ns(net::NetId n) const;
+
+ private:
+  static constexpr double kPadResKohm = 0.5;
+
+  const net::Netlist* nl_;
+  const layout::Parasitics* par_;
+  DelayModelOptions opt_;
+};
+
+}  // namespace tka::sta

@@ -1,0 +1,55 @@
+#include "sta/elmore.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tka::sta {
+
+std::vector<std::vector<SinkDelay>> elmore_sink_delays(
+    const net::Netlist& nl, const DelayModel& model,
+    const std::vector<layout::Route>& routes,
+    const layout::ExtractorOptions& opt) {
+  TKA_ASSERT(routes.size() == nl.num_nets());
+  std::vector<std::vector<SinkDelay>> out(nl.num_nets());
+  for (net::NetId n = 0; n < nl.num_nets(); ++n) {
+    const layout::Route& route = routes[n];
+    if (route.sinks.empty()) continue;
+    // Common term: the driver resistance charges the whole net load.
+    const double r_drv = model.driver_res_kohm(n);
+    const double c_total = model.net_load_pf(n);
+    const double common = r_drv * c_total;
+    for (const layout::SinkSegments& sink : route.sinks) {
+      // Along this sink's own L: each segment's resistance sees half its
+      // own capacitance plus everything downstream of it (the remaining
+      // wire of this L plus the sink pin cap).
+      const double c_pin = nl.cell_of(sink.pin.gate).input_cap_pf;
+      double downstream_len = sink.length();
+      double delay = common;
+      for (const layout::Segment& seg : sink.segments) {
+        const double len = seg.length();
+        downstream_len -= len;
+        const double r_seg = len * opt.res_per_um;
+        const double c_half = 0.5 * len * opt.cap_per_um;
+        const double c_down = downstream_len * opt.cap_per_um + c_pin;
+        delay += r_seg * (c_half + c_down);
+      }
+      out[n].push_back({sink.pin, delay});
+    }
+  }
+  return out;
+}
+
+std::vector<double> worst_sink_delay(
+    const std::vector<std::vector<SinkDelay>>& sink_delays, size_t num_nets) {
+  TKA_ASSERT(sink_delays.size() == num_nets);
+  std::vector<double> worst(num_nets, 0.0);
+  for (size_t n = 0; n < num_nets; ++n) {
+    for (const SinkDelay& s : sink_delays[n]) {
+      worst[n] = std::max(worst[n], s.wire_delay_ns);
+    }
+  }
+  return worst;
+}
+
+}  // namespace tka::sta

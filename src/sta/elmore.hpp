@@ -1,0 +1,39 @@
+// Per-sink Elmore wire delays over the estimated routes.
+//
+// The main delay model lumps each net's RC at its driver (DESIGN.md §2);
+// this module computes the classic first-moment (Elmore) delay separately
+// for every sink pin of every net, for reporting and for bounding the
+// lumped model's error on long multi-fanout nets. Routes are per-sink
+// L-shapes (layout/router), so each sink's path is its own horizontal +
+// vertical run from the driver:
+//
+//   t_sink = R_drv * C_net_total + sum_seg R_seg * (C_seg/2 + C_downstream)
+#pragma once
+
+#include <vector>
+
+#include "layout/extractor.hpp"
+#include "layout/router.hpp"
+#include "sta/delay_model.hpp"
+
+namespace tka::sta {
+
+/// Elmore delay of one sink pin.
+struct SinkDelay {
+  net::PinRef pin;
+  double wire_delay_ns = 0.0;  ///< wire-only part (excludes the gate)
+};
+
+/// Per-net, per-sink Elmore delays. `routes` must come from
+/// layout::route_all on the same netlist; `opt` supplies the per-um RC
+/// constants that produced the extraction.
+std::vector<std::vector<SinkDelay>> elmore_sink_delays(
+    const net::Netlist& nl, const DelayModel& model,
+    const std::vector<layout::Route>& routes,
+    const layout::ExtractorOptions& opt);
+
+/// Worst sink wire delay per net (0 for sink-less nets).
+std::vector<double> worst_sink_delay(
+    const std::vector<std::vector<SinkDelay>>& sink_delays, size_t num_nets);
+
+}  // namespace tka::sta

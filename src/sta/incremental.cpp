@@ -1,0 +1,97 @@
+#include "sta/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/topo.hpp"
+#include "util/assert.hpp"
+
+namespace tka::sta {
+namespace {
+
+constexpr double kEps = 1e-15;
+
+bool window_equal(const TimingWindow& a, const TimingWindow& b) {
+  return std::abs(a.eat - b.eat) < kEps && std::abs(a.lat - b.lat) < kEps &&
+         std::abs(a.trans_early - b.trans_early) < kEps &&
+         std::abs(a.trans_late - b.trans_late) < kEps;
+}
+
+}  // namespace
+
+IncrementalSta::IncrementalSta(const net::Netlist& nl, const DelayModel& model,
+                               const StaOptions& options)
+    : nl_(&nl), model_(&model), options_(options) {
+  result_ = run_sta(nl, model, options);
+  level_ = net::net_levels(nl);
+}
+
+void IncrementalSta::invalidate_net(net::NetId net) {
+  TKA_ASSERT(net < nl_->num_nets());
+  dirty_.insert({level_[net], net});
+}
+
+void IncrementalSta::recompute_net(net::NetId id) {
+  const net::Net& n = nl_->net(id);
+  TimingWindow w;
+  if (n.driver == net::kInvalidGate) {
+    InputArrival arr;
+    if (options_.input_arrival) arr = options_.input_arrival(id);
+    w.eat = arr.eat;
+    w.lat = arr.lat;
+    w.trans_early = w.trans_late = model_->pi_trans_ns(id);
+  } else {
+    // Refresh the driver's delay first (its load may have changed).
+    result_.gate_delay[n.driver] = model_->gate_delay_ns(n.driver);
+    result_.gate_trans[n.driver] = model_->gate_trans_ns(n.driver);
+    const net::Gate& g = nl_->gate(n.driver);
+    double eat = std::numeric_limits<double>::infinity();
+    double lat = -std::numeric_limits<double>::infinity();
+    for (net::NetId in : g.inputs) {
+      eat = std::min(eat, result_.windows[in].eat);
+      lat = std::max(lat, result_.windows[in].lat);
+    }
+    w.eat = eat + result_.gate_delay[n.driver];
+    w.lat = lat + result_.gate_delay[n.driver];
+    w.trans_early = w.trans_late = result_.gate_trans[n.driver];
+  }
+  const bool changed = !window_equal(w, result_.windows[id]);
+  result_.windows[id] = w;
+  if (changed) {
+    for (const net::PinRef& pin : nl_->net(id).fanouts) {
+      const net::NetId out = nl_->gate(pin.gate).output;
+      dirty_.insert({level_[out], out});
+    }
+  }
+}
+
+size_t IncrementalSta::update() {
+  size_t changed_nets = 0;
+  while (!dirty_.empty()) {
+    const auto [lv, id] = *dirty_.begin();
+    dirty_.erase(dirty_.begin());
+    const TimingWindow before = result_.windows[id];
+    recompute_net(id);
+    if (!window_equal(before, result_.windows[id])) ++changed_nets;
+  }
+  // Refresh the worst-PO summary.
+  result_.max_lat = -std::numeric_limits<double>::infinity();
+  result_.worst_po = net::kInvalidNet;
+  for (net::NetId id : nl_->primary_outputs()) {
+    if (result_.windows[id].lat > result_.max_lat) {
+      result_.max_lat = result_.windows[id].lat;
+      result_.worst_po = id;
+    }
+  }
+  if (result_.worst_po == net::kInvalidNet) {
+    for (net::NetId id = 0; id < nl_->num_nets(); ++id) {
+      if (result_.windows[id].lat > result_.max_lat) {
+        result_.max_lat = result_.windows[id].lat;
+        result_.worst_po = id;
+      }
+    }
+  }
+  return changed_nets;
+}
+
+}  // namespace tka::sta

@@ -1,0 +1,44 @@
+// Incremental static timing. Repair loops (zero/shield a coupling, re-ask
+// for the top-k set) touch a handful of nets per cycle; re-propagating only
+// the affected fanout cone keeps each cycle cheap. Results are bit-exact
+// with a full run_sta() over the same state — the update is a worklist
+// topological sweep that stops where arrivals stop changing.
+#pragma once
+
+#include <set>
+
+#include "sta/analyzer.hpp"
+
+namespace tka::sta {
+
+/// Incremental wrapper around the STA propagation. The referenced netlist,
+/// model and parasitics must outlive this object; parasitic values may be
+/// modified externally between invalidate/update cycles.
+class IncrementalSta {
+ public:
+  IncrementalSta(const net::Netlist& nl, const DelayModel& model,
+                 const StaOptions& options = {});
+
+  /// Current timing (valid after construction and after each update()).
+  const StaResult& result() const { return result_; }
+
+  /// Marks a net whose parasitics (or whose fanout pin caps) changed; its
+  /// driver's delay and the downstream cone will be refreshed.
+  void invalidate_net(net::NetId net);
+
+  /// Re-propagates all invalidated cones. Returns the number of nets whose
+  /// arrival actually changed.
+  size_t update();
+
+ private:
+  void recompute_net(net::NetId net);
+
+  const net::Netlist* nl_;
+  const DelayModel* model_;
+  StaOptions options_;
+  StaResult result_;
+  std::vector<int> level_;            // topological level per net
+  std::set<std::pair<int, net::NetId>> dirty_;  // level-ordered worklist
+};
+
+}  // namespace tka::sta

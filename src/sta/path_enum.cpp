@@ -1,0 +1,68 @@
+#include "sta/path_enum.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace tka::sta {
+namespace {
+
+// A partial path: suffix nets from `head` to a PO, plus the gate delays
+// accumulated along the suffix. Priority = lat(head) + suffix_delay = the
+// exact arrival of the best full path completing this suffix.
+struct Partial {
+  double priority = 0.0;
+  double suffix_delay = 0.0;
+  net::NetId head = net::kInvalidNet;
+  std::vector<net::NetId> suffix;  // head first, PO last
+
+  bool operator<(const Partial& other) const {
+    return priority < other.priority;  // max-heap
+  }
+};
+
+}  // namespace
+
+std::vector<TimingPath> k_worst_paths(const net::Netlist& nl, const StaResult& sta,
+                                      size_t count) {
+  std::priority_queue<Partial> queue;
+  for (net::NetId po : nl.primary_outputs()) {
+    Partial p;
+    p.head = po;
+    p.suffix = {po};
+    p.suffix_delay = 0.0;
+    p.priority = sta.windows[po].lat;
+    queue.push(std::move(p));
+  }
+
+  std::vector<TimingPath> out;
+  while (!queue.empty() && out.size() < count) {
+    Partial cur = queue.top();
+    queue.pop();
+    const net::Net& head = nl.net(cur.head);
+    if (head.driver == net::kInvalidGate) {
+      // Complete path: head is a PI.
+      TimingPath path;
+      path.nets = cur.suffix;
+      path.arrival = cur.priority;
+      out.push_back(std::move(path));
+      continue;
+    }
+    const net::Gate& g = nl.gate(head.driver);
+    const double d = sta.gate_delay[head.driver];
+    for (net::NetId in : g.inputs) {
+      Partial next;
+      next.head = in;
+      next.suffix.reserve(cur.suffix.size() + 1);
+      next.suffix.push_back(in);
+      next.suffix.insert(next.suffix.end(), cur.suffix.begin(), cur.suffix.end());
+      next.suffix_delay = cur.suffix_delay + d;
+      next.priority = sta.windows[in].lat + next.suffix_delay;
+      queue.push(std::move(next));
+    }
+  }
+  return out;
+}
+
+}  // namespace tka::sta

@@ -1,0 +1,23 @@
+// K-worst timing-path enumeration. The top-k analysis must consider the
+// critical *and near-critical* paths (paper §1); this module enumerates
+// complete PI-to-PO paths in exactly decreasing arrival order, so callers
+// can walk as deep into the near-critical set as they need.
+#pragma once
+
+#include <vector>
+
+#include "sta/critical_path.hpp"
+
+namespace tka::sta {
+
+/// The `count` worst paths across all primary outputs, sorted by arrival
+/// descending. Fewer are returned when the circuit has fewer paths.
+///
+/// Implementation: best-first search over partial paths grown backward
+/// from the POs; a partial path's priority is lat(head) + (suffix delay),
+/// which equals the true arrival of the best completion, so paths pop in
+/// exact order.
+std::vector<TimingPath> k_worst_paths(const net::Netlist& nl, const StaResult& sta,
+                                      size_t count);
+
+}  // namespace tka::sta

@@ -1,0 +1,30 @@
+// Per-net timing data: the [EAT, LAT] timing window plus transition times
+// at the window extremes. t50-referenced, in ns.
+#pragma once
+
+#include <vector>
+
+#include "net/netlist.hpp"
+
+namespace tka::sta {
+
+/// Timing window of a net: earliest/latest possible t50 plus the signal
+/// transition times at those extremes.
+struct TimingWindow {
+  double eat = 0.0;          ///< earliest arrival (t50, ns)
+  double lat = 0.0;          ///< latest arrival (t50, ns)
+  double trans_early = 0.0;  ///< transition time of the earliest signal
+  double trans_late = 0.0;   ///< transition time of the latest signal
+
+  double width() const { return lat - eat; }
+
+  /// True when [eat, lat] and other's window share any instant.
+  bool overlaps(const TimingWindow& other) const {
+    return eat <= other.lat && other.eat <= lat;
+  }
+};
+
+/// Per-net window table (indexed by NetId).
+using WindowTable = std::vector<TimingWindow>;
+
+}  // namespace tka::sta

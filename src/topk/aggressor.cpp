@@ -1,0 +1,48 @@
+#include "topk/aggressor.hpp"
+
+#include <algorithm>
+
+namespace tka::topk {
+
+bool union_with(const std::vector<layout::CapId>& members, layout::CapId extra,
+                std::vector<layout::CapId>& out) {
+  if (std::binary_search(members.begin(), members.end(), extra)) return false;
+  out.clear();
+  out.reserve(members.size() + 1);
+  auto it = std::lower_bound(members.begin(), members.end(), extra);
+  out.insert(out.end(), members.begin(), it);
+  out.push_back(extra);
+  out.insert(out.end(), it, members.end());
+  return true;
+}
+
+bool union_disjoint(const std::vector<layout::CapId>& a,
+                    const std::vector<layout::CapId>& b,
+                    std::vector<layout::CapId>& out) {
+  out.clear();
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return false;
+    if (a[i] < b[j]) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<long>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<long>(j), b.end());
+  return true;
+}
+
+std::uint64_t members_hash(const std::vector<layout::CapId>& members) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (layout::CapId id : members) {
+    h ^= id;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace tka::topk

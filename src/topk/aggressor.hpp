@@ -1,0 +1,44 @@
+// Candidate aggressor sets (paper §3).
+//
+// A candidate set is a set of aggressor-victim couplings (CapIds) together
+// with its combined noise envelope referenced to one victim net, and the
+// cached score at that victim (delay noise in addition mode, noise
+// reduction in elimination mode). The "innate cardinality" of pseudo and
+// higher-order members is handled naturally: `members` always holds the
+// underlying coupling ids, so |members| is the set's true cardinality.
+#pragma once
+
+#include <cstddef>
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/parasitics.hpp"
+#include "wave/pwl.hpp"
+
+namespace tka::topk {
+
+/// One candidate aggressor set at a fixed victim.
+struct CandidateSet {
+  std::vector<layout::CapId> members;  ///< sorted, unique coupling ids
+  wave::Pwl envelope;                  ///< combined envelope at the victim
+  double score = 0.0;                  ///< mode-dependent; larger is worse-case
+
+  size_t cardinality() const { return members.size(); }
+};
+
+/// Sorted-unique union of `members` and {extra}. Returns false (and leaves
+/// `out` unspecified) when `extra` is already present — the combination
+/// belongs to a lower cardinality and was enumerated there.
+bool union_with(const std::vector<layout::CapId>& members, layout::CapId extra,
+                std::vector<layout::CapId>& out);
+
+/// Sorted-unique union of two member vectors; false on any overlap.
+bool union_disjoint(const std::vector<layout::CapId>& a,
+                    const std::vector<layout::CapId>& b,
+                    std::vector<layout::CapId>& out);
+
+/// FNV-1a hash of a member vector (for I-list dedup buckets).
+std::uint64_t members_hash(const std::vector<layout::CapId>& members);
+
+}  // namespace tka::topk

@@ -1,0 +1,75 @@
+#include "topk/brute_force.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace tka::topk {
+
+std::optional<BruteForceResult> brute_force_topk(
+    const net::Netlist& nl, const layout::Parasitics& par,
+    const sta::DelayModel& model, const noise::CouplingCalculator& calc,
+    const BruteForceOptions& opt) {
+  TKA_ASSERT(opt.k >= 1);
+  std::vector<layout::CapId> pool;
+  for (layout::CapId id = 0; id < par.num_couplings(); ++id) {
+    if (par.coupling(id).cap_pf > 0.0) pool.push_back(id);
+  }
+  const size_t r = pool.size();
+  const size_t k = static_cast<size_t>(opt.k);
+  if (r < k) return std::nullopt;
+
+  const bool addition = (opt.mode == Mode::kAddition);
+  Timer timer;
+  BruteForceResult result;
+  result.delay = addition ? -std::numeric_limits<double>::infinity()
+                          : std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](const std::vector<size_t>& combo) {
+    noise::CouplingMask mask = addition
+                                   ? noise::CouplingMask::none(par.num_couplings())
+                                   : noise::CouplingMask::all(par.num_couplings());
+    for (size_t idx : combo) mask.set(pool[idx], addition);
+    const noise::NoiseReport rep =
+        noise::analyze_iterative(nl, par, model, calc, mask, opt.iterative);
+    ++result.subsets_evaluated;
+    const bool better = addition ? rep.noisy_delay > result.delay
+                                 : rep.noisy_delay < result.delay;
+    if (better) {
+      result.delay = rep.noisy_delay;
+      result.members.clear();
+      for (size_t idx : combo) result.members.push_back(pool[idx]);
+      std::sort(result.members.begin(), result.members.end());
+    }
+  };
+
+  // Lexicographic combination enumeration.
+  std::vector<size_t> combo(k);
+  for (size_t i = 0; i < k; ++i) combo[i] = i;
+  for (;;) {
+    if (timer.seconds() > opt.timeout_s) {
+      result.timed_out = true;
+      break;
+    }
+    evaluate(combo);
+    // Advance to the next combination.
+    size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (combo[pos] != pos + r - k) break;
+      if (pos == 0) {
+        pos = k;  // exhausted
+        break;
+      }
+    }
+    if (pos == k) break;
+    ++combo[pos];
+    for (size_t j = pos + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+  }
+
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+}  // namespace tka::topk

@@ -1,0 +1,41 @@
+// Brute-force top-k baseline (paper §2, Table 1): enumerate all C(r, k)
+// coupling subsets and run the full iterative noise analysis on each. Used
+// to validate the engine on small circuits and to reproduce the paper's
+// runtime-explosion comparison. A wall-clock timeout mirrors the paper's
+// 1800 s cap.
+#pragma once
+
+#include <cstddef>
+
+#include <optional>
+
+#include "noise/iterative.hpp"
+#include "topk/pseudo_aggressor.hpp"
+
+namespace tka::topk {
+
+/// Controls.
+struct BruteForceOptions {
+  int k = 2;
+  Mode mode = Mode::kAddition;
+  double timeout_s = 1800.0;  ///< give up after this much wall time
+  noise::IterativeOptions iterative;
+};
+
+/// Outcome.
+struct BruteForceResult {
+  std::vector<layout::CapId> members;  ///< the optimal set (when completed)
+  double delay = 0.0;                  ///< circuit delay with/without the set
+  size_t subsets_evaluated = 0;
+  double runtime_s = 0.0;
+  bool timed_out = false;
+};
+
+/// Runs the exhaustive search. Returns nullopt when there are fewer than k
+/// nonzero couplings.
+std::optional<BruteForceResult> brute_force_topk(
+    const net::Netlist& nl, const layout::Parasitics& par,
+    const sta::DelayModel& model, const noise::CouplingCalculator& calc,
+    const BruteForceOptions& options);
+
+}  // namespace tka::topk

@@ -1,0 +1,47 @@
+#include "topk/dominance.hpp"
+
+#include <algorithm>
+
+namespace tka::topk {
+
+void prune_dominated(std::vector<CandidateSet>& list,
+                     const wave::DominanceInterval& interval, double tol,
+                     PruneStats* stats) {
+  if (stats != nullptr) stats->considered += list.size();
+  if (list.size() < 2 || !interval.valid()) return;
+
+  // Sort by score descending first: a set can only be dominated by one with
+  // an equal-or-larger delay-noise score (its envelope is pointwise >= over
+  // the interval that determines the score), so each set needs comparing
+  // only against the survivors ahead of it.
+  std::sort(list.begin(), list.end(),
+            [](const CandidateSet& a, const CandidateSet& b) { return a.score > b.score; });
+
+  std::vector<CandidateSet> kept;
+  kept.reserve(list.size());
+  for (CandidateSet& cand : list) {
+    bool dominated = false;
+    for (const CandidateSet& winner : kept) {
+      if (wave::dominates(winner.envelope, cand.envelope, interval, tol)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      if (stats != nullptr) ++stats->removed_dominated;
+    } else {
+      kept.push_back(std::move(cand));
+    }
+  }
+  list = std::move(kept);
+}
+
+void apply_beam(std::vector<CandidateSet>& list, size_t beam_cap, PruneStats* stats) {
+  if (beam_cap == 0 || list.size() <= beam_cap) return;
+  std::sort(list.begin(), list.end(),
+            [](const CandidateSet& a, const CandidateSet& b) { return a.score > b.score; });
+  if (stats != nullptr) stats->removed_beam += list.size() - beam_cap;
+  list.resize(beam_cap);
+}
+
+}  // namespace tka::topk

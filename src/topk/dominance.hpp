@@ -1,0 +1,36 @@
+// Dominance pruning of candidate-set lists (paper §3.2, Theorem 1).
+//
+// Candidate sets of equal cardinality are partially ordered by envelope
+// encapsulation over the victim's dominance interval. Any dominated set can
+// be discarded: every extension of it is matched or beaten by the same
+// extension of the dominating set.
+#pragma once
+
+#include <cstddef>
+
+#include <vector>
+
+#include "topk/aggressor.hpp"
+#include "wave/envelope.hpp"
+
+namespace tka::topk {
+
+/// Pruning statistics accumulated across calls.
+struct PruneStats {
+  size_t considered = 0;
+  size_t removed_dominated = 0;
+  size_t removed_beam = 0;
+};
+
+/// Removes every dominated set from `list` (all sets must share one
+/// cardinality and victim). Ties (mutually encapsulating envelopes) keep
+/// the higher-scored set. O(n^2) envelope comparisons.
+void prune_dominated(std::vector<CandidateSet>& list,
+                     const wave::DominanceInterval& interval, double tol,
+                     PruneStats* stats = nullptr);
+
+/// Sorts by score descending and truncates to `beam_cap` (0 = no cap).
+void apply_beam(std::vector<CandidateSet>& list, size_t beam_cap,
+                PruneStats* stats = nullptr);
+
+}  // namespace tka::topk

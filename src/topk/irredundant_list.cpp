@@ -1,0 +1,87 @@
+#include "topk/irredundant_list.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tka::topk {
+
+bool IList::try_add(CandidateSet set) {
+  const std::uint64_t h = members_hash(set.members);
+  auto [lo, hi] = index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    CandidateSet& existing = sets_[it->second];
+    if (existing.members == set.members) {
+      if (set.score > existing.score) {
+        existing = std::move(set);
+        return true;
+      }
+      return false;
+    }
+  }
+  index_.emplace(h, sets_.size());
+  sets_.push_back(std::move(set));
+  return true;
+}
+
+void IList::reduce(const wave::DominanceInterval& interval, double tol,
+                   size_t beam_cap, bool use_dominance, PruneStats* stats,
+                   std::span<const layout::CapId> victim_caps) {
+  // Extension seeds: for each of the victim's own caps, remember the best
+  // candidate not containing it (see header).
+  std::vector<CandidateSet> seeds;
+  if (use_dominance && !victim_caps.empty()) {
+    seeds.reserve(victim_caps.size());
+    for (layout::CapId cap : victim_caps) {
+      const CandidateSet* best = nullptr;
+      for (const CandidateSet& s : sets_) {
+        if (std::binary_search(s.members.begin(), s.members.end(), cap)) continue;
+        if (best == nullptr || s.score > best->score) best = &s;
+      }
+      if (best != nullptr) seeds.push_back(*best);
+    }
+  }
+
+  if (use_dominance) prune_dominated(sets_, interval, tol, stats);
+  // Safety net for runs with neither dominance nor a beam (the blow-up the
+  // paper's §3.2 is about): cap the list rather than exhausting memory.
+  constexpr size_t kEmergencyCap = 20000;
+  if (!use_dominance && beam_cap == 0 && sets_.size() > kEmergencyCap) {
+    apply_beam(sets_, kEmergencyCap, stats);
+  }
+  apply_beam(sets_, beam_cap, stats);
+
+  // Re-add any seed the pruning removed (deduplicated by members).
+  for (CandidateSet& seed : seeds) {
+    bool present = false;
+    for (const CandidateSet& s : sets_) {
+      if (s.members == seed.members) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) sets_.push_back(std::move(seed));
+  }
+
+  // Rebuild the dedup index after reordering/removal.
+  index_.clear();
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    index_.emplace(members_hash(sets_[i].members), i);
+  }
+}
+
+const CandidateSet& IList::best() const {
+  TKA_ASSERT(!sets_.empty());
+  const CandidateSet* best = &sets_.front();
+  for (const CandidateSet& s : sets_) {
+    if (s.score > best->score) best = &s;
+  }
+  return *best;
+}
+
+void IList::clear() {
+  sets_.clear();
+  index_.clear();
+}
+
+}  // namespace tka::topk

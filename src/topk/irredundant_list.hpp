@@ -1,0 +1,56 @@
+// The I-list container (paper §3.2): candidate sets of one cardinality at
+// one victim, deduplicated by membership, reducible to the non-dominated
+// (irredundant) subset.
+#pragma once
+
+#include <cstddef>
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topk/aggressor.hpp"
+#include "topk/dominance.hpp"
+
+namespace tka::topk {
+
+/// Deduplicating list of candidate sets (one victim, one cardinality).
+class IList {
+ public:
+  IList() = default;
+
+  /// Adds `set`; if an identical member-set is already present, keeps the
+  /// higher-scoring of the two (the same physical set can be discovered
+  /// through several construction channels — e.g. as a local primary and
+  /// as an upstream pseudo aggressor — with differently complete
+  /// envelopes). Returns true when the list changed.
+  bool try_add(CandidateSet set);
+
+  /// Reduces to the irredundant (non-dominated) subset, then applies the
+  /// beam cap. `use_dominance` false skips the Pareto step (ablation).
+  ///
+  /// `victim_caps` (the victim's own extendable couplings) closes a
+  /// soundness hole in naive Theorem-1 pruning: if every dominator of Q
+  /// already contains cap c, pruning Q makes Q ∪ {c} unreachable even
+  /// though no kept set can be extended by c into a dominating set. For
+  /// each cap the best candidate *not containing it* is therefore retained
+  /// as an extension seed, exempt from pruning and the beam.
+  void reduce(const wave::DominanceInterval& interval, double tol,
+              size_t beam_cap, bool use_dominance, PruneStats* stats,
+              std::span<const layout::CapId> victim_caps = {});
+
+  const std::vector<CandidateSet>& sets() const { return sets_; }
+  bool empty() const { return sets_.empty(); }
+  size_t size() const { return sets_.size(); }
+
+  /// Highest-scored set; asserts non-empty.
+  const CandidateSet& best() const;
+
+  void clear();
+
+ private:
+  std::vector<CandidateSet> sets_;
+  std::unordered_multimap<std::uint64_t, size_t> index_;  // members_hash -> idx
+};
+
+}  // namespace tka::topk

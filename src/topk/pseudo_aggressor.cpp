@@ -1,0 +1,42 @@
+#include "topk/pseudo_aggressor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "wave/ramp.hpp"
+
+namespace tka::topk {
+
+wave::Pwl pseudo_envelope(double t50, double trans, double vdd, double shift,
+                          Mode mode) {
+  TKA_ASSERT(shift >= 0.0);
+  TKA_ASSERT(trans > 0.0);
+  if (shift <= 0.0) return wave::Pwl();
+  const double base = (mode == Mode::kAddition) ? t50 : t50 - shift;
+  const wave::Pwl early = wave::make_rising_ramp(base, trans, vdd);
+  const wave::Pwl late = wave::make_rising_ramp(base + shift, trans, vdd);
+  return early.minus(late);
+}
+
+double propagate_shift(std::span<const double> input_lats, size_t which,
+                       double shift, Mode mode) {
+  TKA_ASSERT(which < input_lats.size());
+  TKA_ASSERT(shift >= 0.0);
+  double max_lat = -std::numeric_limits<double>::infinity();
+  for (double lat : input_lats) max_lat = std::max(max_lat, lat);
+
+  if (mode == Mode::kAddition) {
+    // Output LAT goes from max_lat to max(max_lat, lat_u + shift).
+    return std::max(0.0, input_lats[which] + shift - max_lat);
+  }
+  // Elimination: output LAT goes from max_lat to the new controlling LAT.
+  double new_max = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < input_lats.size(); ++i) {
+    const double lat = (i == which) ? input_lats[i] - shift : input_lats[i];
+    new_max = std::max(new_max, lat);
+  }
+  return std::max(0.0, max_lat - new_max);
+}
+
+}  // namespace tka::topk

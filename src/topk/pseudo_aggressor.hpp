@@ -1,0 +1,44 @@
+// Pseudo input aggressors (paper §3.1).
+//
+// The delay noise a candidate set causes at a fanin net shifts the victim
+// driver's output transition. The pseudo envelope re-expresses that shift
+// as a noise envelope referenced to the victim output, which restores the
+// usual "subtract envelope from transition" superposition:
+//
+//   addition:    P(t) = ramp(t50) - ramp(t50 + shift)      (output later)
+//   elimination: P(t) = ramp(t50 - shift) - ramp(t50)      (output earlier)
+//
+// Both are non-negative trapezoids of height min(Vdd, Vdd*shift/trans).
+// Subtracting P from the victim transition (addition) or from the total
+// envelope (elimination) reproduces the shifted waveform exactly.
+#pragma once
+
+#include <cstddef>
+
+#include <span>
+
+#include "wave/pwl.hpp"
+
+namespace tka::topk {
+
+/// Analysis direction.
+enum class Mode {
+  kAddition,     ///< start noiseless, find the k couplings that hurt most
+  kElimination,  ///< start fully noisy, find the k couplings to fix
+};
+
+/// Builds the pseudo envelope for an output transition with the given t50
+/// and transition time. `shift` >= 0 is the propagated t50 displacement at
+/// the victim output. Returns an empty waveform for shift == 0.
+wave::Pwl pseudo_envelope(double t50, double trans, double vdd, double shift,
+                          Mode mode);
+
+/// Transfers a t50 shift across a gate. `input_lats` are the LATs of all
+/// fanins, `which` indexes the shifted fanin, `shift` its displacement.
+/// Addition: the output moves later only to the extent the shifted input
+/// overtakes the controlling input. Elimination: the output moves earlier
+/// only while the shifted input stays controlling.
+double propagate_shift(std::span<const double> input_lats, size_t which,
+                       double shift, Mode mode);
+
+}  // namespace tka::topk

@@ -1,0 +1,31 @@
+// Internal-invariant assertions and user-facing checks.
+//
+// TKA_ASSERT  — programming-error invariants; aborts with location info.
+//               Compiled in all build types (EDA results must never be
+//               silently wrong because a release build skipped a check).
+// TKA_CHECK   — recoverable, user-facing precondition; throws tka::Error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace tka::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "TKA_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace tka::detail
+
+#define TKA_ASSERT(expr)                                         \
+  do {                                                           \
+    if (!(expr)) ::tka::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#define TKA_CHECK(expr, msg)                                     \
+  do {                                                           \
+    if (!(expr)) throw ::tka::Error(msg);                        \
+  } while (0)

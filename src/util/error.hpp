@@ -1,0 +1,17 @@
+// Library-wide exception type for user-facing errors (bad input files,
+// inconsistent netlists, invalid parameters). Internal invariant violations
+// use TKA_ASSERT instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tka {
+
+/// Exception thrown on recoverable, user-facing errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace tka

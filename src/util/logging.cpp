@@ -1,0 +1,33 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tka::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lv, const std::string& message) {
+  if (static_cast<int>(lv) < static_cast<int>(level())) return;
+  std::fprintf(stderr, "[tka %s] %s\n", tag(lv), message.c_str());
+}
+
+}  // namespace tka::log

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Single global sink (stderr); level settable at
+// runtime. Deliberately tiny: the library is a batch analysis engine, not a
+// service, so structured logging frameworks would be overkill.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tka::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold. Messages below it are discarded.
+void set_level(Level level);
+
+/// Current global log threshold.
+Level level();
+
+/// Emits one line at `level` (no-op when below threshold).
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+class LineStream {
+ public:
+  explicit LineStream(Level level) : level_(level) {}
+  ~LineStream() { write(level_, stream_.str()); }
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+
+  template <typename T>
+  LineStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LineStream debug() { return detail::LineStream(Level::kDebug); }
+inline detail::LineStream info() { return detail::LineStream(Level::kInfo); }
+inline detail::LineStream warn() { return detail::LineStream(Level::kWarn); }
+inline detail::LineStream error() { return detail::LineStream(Level::kError); }
+
+}  // namespace tka::log

@@ -1,0 +1,83 @@
+// Deterministic random number generator (xoshiro256++). The benchmark
+// suite must be reproducible bit-for-bit across platforms, so we do not use
+// std::mt19937/std::uniform_* (distribution implementations vary).
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace tka {
+
+/// xoshiro256++ PRNG with splitmix64 seeding. Deterministic across
+/// platforms; all distribution helpers below are implementation-defined by
+/// this library (not the standard library), so generated circuits are
+/// stable everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 to spread the seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's method. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    TKA_ASSERT(bound > 0);
+    // Unbiased rejection variant.
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    TKA_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    TKA_ASSERT(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tka

@@ -1,0 +1,53 @@
+#include "wave/envelope.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace tka::wave {
+
+Pwl make_trapezoidal_envelope(const PulseShape& shape, double eat, double lat,
+                              int decay_samples) {
+  TKA_ASSERT(lat >= eat);
+  if (shape.peak == 0.0) return Pwl();
+  const Pwl early = make_pulse(shape, eat, decay_samples);
+  if (lat - eat < 1e-12) return early;
+
+  // The trapezoid is exactly: rising edge of the pulse fired at EAT, a
+  // plateau at the peak until the LAT-fired pulse peaks, then the decay of
+  // the LAT-fired pulse. Both pieces are monotonic by construction of
+  // make_pulse, so splicing at the peaks is exact.
+  const Pwl late = make_pulse(shape, lat, decay_samples);
+  const double early_peak_t = eat + shape.rise;
+  const double late_peak_t = lat + shape.rise;
+
+  std::vector<Point> pts;
+  pts.reserve(early.size() + late.size());
+  for (const Point& p : early.points()) {
+    if (p.t <= early_peak_t + 1e-12) pts.push_back(p);
+  }
+  for (const Point& p : late.points()) {
+    if (p.t >= late_peak_t - 1e-12) pts.push_back(p);
+  }
+  return Pwl(std::move(pts));
+}
+
+Pwl combine_envelopes(std::span<const Pwl* const> envelopes) {
+  return Pwl::sum(envelopes);
+}
+
+bool dominates(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
+               double tol) {
+  TKA_ASSERT(interval.valid());
+  return a.encapsulates(b, interval.lo, interval.hi, tol);
+}
+
+DomOrder compare(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
+                 double tol) {
+  const bool ab = dominates(a, b, interval, tol);
+  if (ab) return DomOrder::kADominatesB;
+  if (dominates(b, a, interval, tol)) return DomOrder::kBDominatesA;
+  return DomOrder::kIncomparable;
+}
+
+}  // namespace tka::wave

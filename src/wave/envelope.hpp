@@ -1,0 +1,59 @@
+// Trapezoidal noise envelopes and envelope dominance (paper §2, §3.2).
+//
+// The noise envelope of an aggressor bounds every noise pulse the aggressor
+// can couple onto the victim while switching anywhere inside its timing
+// window [EAT, LAT]: it is the pulse fired at EAT, the pulse fired at LAT,
+// and a plateau at the peak value joining the two peaks (Figure 2).
+//
+// Dominance (paper §3.2): envelope A dominates envelope B over the
+// dominance interval when A pointwise encapsulates B there; Theorem 1 then
+// guarantees any superset built on B is never worse than the same superset
+// built on A, so B's sets can be pruned.
+#pragma once
+
+#include <span>
+
+#include "wave/pulse.hpp"
+#include "wave/pwl.hpp"
+
+namespace tka::wave {
+
+/// Time interval within which envelope encapsulation implies dominance.
+/// Lower bound: the noiseless victim t50 (noise ending earlier cannot delay
+/// the transition). Upper bound: noiseless t50 plus an upper bound on the
+/// achievable delay noise (paper: standard analysis with infinite windows).
+struct DominanceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool valid() const { return hi >= lo; }
+};
+
+/// Builds the trapezoidal envelope of a pulse swept over the timing window
+/// [eat, lat] (t50-referenced start times of the aggressor transition).
+/// eat == lat degenerates to the single pulse.
+Pwl make_trapezoidal_envelope(const PulseShape& shape, double eat, double lat,
+                              int decay_samples = 6);
+
+/// Combined envelope of several aggressors: pointwise sum (linear
+/// superposition of worst-case bounds).
+Pwl combine_envelopes(std::span<const Pwl* const> envelopes);
+
+/// True when `a` dominates `b`: a(t) >= b(t) - tol over the interval.
+bool dominates(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
+               double tol = 1e-9);
+
+/// Strict mutual comparison outcome used for partial-order reductions.
+enum class DomOrder {
+  kADominatesB,   ///< a encapsulates b (and not vice versa, or equal)
+  kBDominatesA,   ///< b encapsulates a strictly
+  kIncomparable,  ///< neither encapsulates the other
+};
+
+/// Classifies the pair under the dominance partial order. When the two
+/// envelopes are equal within tol the result is kADominatesB (keeping one
+/// of two equal candidates is always safe).
+DomOrder compare(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
+                 double tol = 1e-9);
+
+}  // namespace tka::wave

@@ -1,0 +1,46 @@
+#include "wave/pulse.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace tka::wave {
+namespace {
+
+// The decay tail is truncated where exp(-t/tau) reaches this fraction.
+constexpr double kTailCutoff = 0.01;
+
+}  // namespace
+
+Pwl make_pulse(const PulseShape& shape, double t0, int decay_samples) {
+  TKA_ASSERT(shape.peak >= 0.0);
+  TKA_ASSERT(shape.rise > 0.0);
+  TKA_ASSERT(shape.tau > 0.0);
+  TKA_ASSERT(decay_samples >= 1);
+  if (shape.peak == 0.0) return Pwl();
+
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(decay_samples) + 3);
+  pts.push_back({t0, 0.0});
+  const double t_peak = t0 + shape.rise;
+  pts.push_back({t_peak, shape.peak});
+
+  // Sample the exponential decay at uniform steps until the cutoff, then
+  // drop linearly to exactly zero.
+  const double t_end = shape.tau * std::log(1.0 / kTailCutoff);  // ~4.6 tau
+  for (int i = 1; i <= decay_samples; ++i) {
+    const double dt = t_end * static_cast<double>(i) / decay_samples;
+    const double v = shape.peak * std::exp(-dt / shape.tau);
+    pts.push_back({t_peak + dt, v});
+  }
+  // Close the pulse: linear return to zero over a short final segment.
+  pts.push_back({t_peak + t_end + 0.25 * shape.tau, 0.0});
+  return Pwl(std::move(pts));
+}
+
+double pulse_width(const PulseShape& shape) {
+  const double t_end = shape.tau * std::log(1.0 / kTailCutoff);
+  return shape.rise + t_end + 0.25 * shape.tau;
+}
+
+}  // namespace tka::wave

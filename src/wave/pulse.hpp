@@ -1,0 +1,32 @@
+// Coupling noise pulses.
+//
+// When an aggressor ramps, the coupling capacitance injects current into
+// the victim and produces a noise pulse: a rise during the aggressor
+// transition followed by an RC decay with the victim time constant. The
+// linear framework characterizes the pulse by (peak, rise time, decay tau)
+// and represents it as a PWL waveform with the exponential tail sampled.
+#pragma once
+
+#include "wave/pwl.hpp"
+
+namespace tka::wave {
+
+/// Shape parameters of a characterized noise pulse. All positive.
+struct PulseShape {
+  double peak = 0.0;  ///< peak noise voltage (V)
+  double rise = 0.0;  ///< time from pulse start to peak (ns), ~aggressor transition
+  double tau = 0.0;   ///< exponential decay time constant after the peak (ns)
+
+  friend bool operator==(const PulseShape&, const PulseShape&) = default;
+};
+
+/// Builds the PWL pulse for `shape` starting (leaving zero) at time t0.
+/// The decay tail is sampled with `decay_samples` exponentially-spaced
+/// points and truncated where it falls below 1% of the peak; the final
+/// breakpoint returns to exactly zero so constant extrapolation is clean.
+Pwl make_pulse(const PulseShape& shape, double t0, int decay_samples = 6);
+
+/// Duration from pulse start to the (truncated) return to zero.
+double pulse_width(const PulseShape& shape);
+
+}  // namespace tka::wave

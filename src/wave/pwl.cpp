@@ -1,0 +1,329 @@
+#include "wave/pwl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tka::wave {
+namespace {
+
+constexpr double kTimeEps = 1e-12;
+
+// Merged, deduplicated breakpoint times of two waveforms.
+std::vector<double> merged_times(const Pwl& a, const Pwl& b) {
+  std::vector<double> times;
+  times.reserve(a.size() + b.size());
+  for (const Point& p : a.points()) times.push_back(p.t);
+  for (const Point& p : b.points()) times.push_back(p.t);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end(),
+                          [](double x, double y) { return std::abs(x - y) < kTimeEps; }),
+              times.end());
+  return times;
+}
+
+}  // namespace
+
+Pwl::Pwl(std::vector<Point> points) : points_(std::move(points)) {
+  TKA_ASSERT(std::is_sorted(points_.begin(), points_.end(),
+                            [](const Point& a, const Point& b) { return a.t < b.t; }));
+  // Merge equal-time duplicates, keeping the later value.
+  std::vector<Point> merged;
+  merged.reserve(points_.size());
+  for (const Point& p : points_) {
+    if (!merged.empty() && std::abs(merged.back().t - p.t) < kTimeEps) {
+      merged.back().v = p.v;
+    } else {
+      merged.push_back(p);
+    }
+  }
+  points_ = std::move(merged);
+}
+
+Pwl Pwl::constant(double v) { return Pwl({{0.0, v}}); }
+
+double Pwl::t_front() const {
+  TKA_ASSERT(!points_.empty());
+  return points_.front().t;
+}
+
+double Pwl::t_back() const {
+  TKA_ASSERT(!points_.empty());
+  return points_.back().t;
+}
+
+double Pwl::value(double t) const {
+  if (points_.empty()) return 0.0;
+  if (t <= points_.front().t) return points_.front().v;
+  if (t >= points_.back().t) return points_.back().v;
+  // First breakpoint with time > t.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](double x, const Point& p) { return x < p.t; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double span = hi.t - lo.t;
+  if (span < kTimeEps) return hi.v;
+  const double f = (t - lo.t) / span;
+  return lo.v + f * (hi.v - lo.v);
+}
+
+double Pwl::peak() const {
+  double m = 0.0;
+  if (points_.empty()) return 0.0;
+  m = points_.front().v;
+  for (const Point& p : points_) m = std::max(m, p.v);
+  return m;
+}
+
+double Pwl::peak_time() const {
+  if (points_.empty()) return 0.0;
+  double best_v = points_.front().v;
+  double best_t = points_.front().t;
+  for (const Point& p : points_) {
+    if (p.v > best_v) {
+      best_v = p.v;
+      best_t = p.t;
+    }
+  }
+  return best_t;
+}
+
+double Pwl::min_value() const {
+  if (points_.empty()) return 0.0;
+  double m = points_.front().v;
+  for (const Point& p : points_) m = std::min(m, p.v);
+  return m;
+}
+
+Pwl Pwl::shifted(double dt) const {
+  std::vector<Point> pts = points_;
+  for (Point& p : pts) p.t += dt;
+  return Pwl(std::move(pts));
+}
+
+Pwl Pwl::scaled(double a) const {
+  std::vector<Point> pts = points_;
+  for (Point& p : pts) p.v *= a;
+  return Pwl(std::move(pts));
+}
+
+Pwl Pwl::plus(const Pwl& other) const {
+  if (points_.empty()) return other;
+  if (other.points_.empty()) return *this;
+  std::vector<Point> pts;
+  const std::vector<double> times = merged_times(*this, other);
+  pts.reserve(times.size());
+  for (double t : times) pts.push_back({t, value(t) + other.value(t)});
+  return Pwl(std::move(pts));
+}
+
+Pwl Pwl::minus(const Pwl& other) const {
+  return plus(other.scaled(-1.0));
+}
+
+Pwl Pwl::upper_envelope(const Pwl& other) const {
+  if (points_.empty()) return other.upper_envelope(Pwl::constant(0.0));
+  if (other.points_.empty()) return upper_envelope(Pwl::constant(0.0));
+  const std::vector<double> times = merged_times(*this, other);
+  std::vector<Point> pts;
+  pts.reserve(times.size() * 2);
+  for (size_t i = 0; i < times.size(); ++i) {
+    const double t = times[i];
+    const double va = value(t);
+    const double vb = other.value(t);
+    pts.push_back({t, std::max(va, vb)});
+    // Insert the crossing point inside (t, t_next) if the two linear
+    // segments swap order there.
+    if (i + 1 < times.size()) {
+      const double tn = times[i + 1];
+      const double va2 = value(tn);
+      const double vb2 = other.value(tn);
+      const double d0 = va - vb;
+      const double d1 = va2 - vb2;
+      if ((d0 > 0 && d1 < 0) || (d0 < 0 && d1 > 0)) {
+        const double f = d0 / (d0 - d1);
+        const double tc = t + f * (tn - t);
+        if (tc > t + kTimeEps && tc < tn - kTimeEps) {
+          const double vc = value(tc);  // == other.value(tc) at the crossing
+          pts.push_back({tc, vc});
+        }
+      }
+    }
+  }
+  return Pwl(std::move(pts));
+}
+
+Pwl Pwl::clamped(double lo, double hi) const {
+  TKA_ASSERT(lo <= hi);
+  if (points_.empty()) {
+    const double z = std::clamp(0.0, lo, hi);
+    return z == 0.0 ? Pwl() : Pwl::constant(z);
+  }
+  // Clamping a PWL can introduce breakpoints where segments cross lo/hi.
+  std::vector<Point> pts;
+  pts.reserve(points_.size() * 2);
+  auto emit = [&pts](double t, double v) { pts.push_back({t, v}); };
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    emit(p.t, std::clamp(p.v, lo, hi));
+    if (i + 1 == points_.size()) break;
+    const Point& q = points_[i + 1];
+    // Insert crossings of the thresholds within (p.t, q.t).
+    for (double level : {lo, hi}) {
+      const double d0 = p.v - level;
+      const double d1 = q.v - level;
+      if ((d0 > 0 && d1 < 0) || (d0 < 0 && d1 > 0)) {
+        const double f = d0 / (d0 - d1);
+        const double tc = p.t + f * (q.t - p.t);
+        if (tc > p.t + kTimeEps && tc < q.t - kTimeEps) emit(tc, level);
+      }
+    }
+    // Keep pts sorted: crossings for lo/hi may come out of order.
+    // (At most two inserts per segment; sort the tail.)
+    auto tail = pts.end();
+    int inserted = 0;
+    while (tail != pts.begin() && (tail - 1)->t > p.t && inserted < 3) {
+      --tail;
+      ++inserted;
+    }
+    std::sort(tail, pts.end(), [](const Point& a, const Point& b) { return a.t < b.t; });
+  }
+  return Pwl(std::move(pts));
+}
+
+bool Pwl::encapsulates(const Pwl& other, double t_lo, double t_hi, double tol) const {
+  TKA_ASSERT(t_lo <= t_hi);
+  auto check = [&](double t) { return value(t) >= other.value(t) - tol; };
+  if (!check(t_lo) || !check(t_hi)) return false;
+  for (const std::vector<Point>* src : {&points_, &other.points_}) {
+    for (const Point& p : *src) {
+      if (p.t <= t_lo || p.t >= t_hi) continue;
+      if (!check(p.t)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<double> Pwl::last_time_at_or_below(double level) const {
+  if (points_.empty()) return level >= 0.0 ? std::nullopt : std::nullopt;
+  // Constant extrapolation after the last breakpoint: if the final value is
+  // <= level the set {t : w(t) <= level} is unbounded above.
+  if (points_.back().v <= level) return std::nullopt;
+  // Scan segments backward for the latest point at or below the level.
+  for (size_t i = points_.size() - 1; i > 0; --i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    const double vmin = std::min(a.v, b.v);
+    if (vmin > level) continue;
+    if (b.v <= level) return b.t;  // (only possible for i == size-1 handled above)
+    // b.v > level, a.v <= level possible; or dip inside segment (linear: no
+    // interior dip). Linear segment: the latest t with v(t) <= level solves
+    // v(t) = level on a rising stretch ending above level.
+    const double denom = b.v - a.v;
+    TKA_ASSERT(std::abs(denom) > 0.0);
+    const double f = (level - a.v) / denom;
+    return a.t + f * (b.t - a.t);
+  }
+  // Before the first breakpoint: constant at front value.
+  if (points_.front().v <= level) return points_.front().t;
+  return std::nullopt;
+}
+
+std::optional<double> Pwl::first_time_at_or_above(double level) const {
+  if (points_.empty()) return std::nullopt;
+  if (points_.front().v >= level) return std::nullopt;  // unbounded below
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    if (std::max(a.v, b.v) < level) continue;
+    if (a.v >= level) return a.t;
+    const double denom = b.v - a.v;
+    TKA_ASSERT(std::abs(denom) > 0.0);
+    const double f = (level - a.v) / denom;
+    return a.t + f * (b.t - a.t);
+  }
+  return std::nullopt;
+}
+
+double Pwl::integral() const {
+  double area = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    area += 0.5 * (a.v + b.v) * (b.t - a.t);
+  }
+  return area;
+}
+
+Pwl Pwl::simplified(double tol) const {
+  if (points_.size() <= 2) return *this;
+  std::vector<Point> out;
+  out.reserve(points_.size());
+  out.push_back(points_.front());
+  // Greedy: extend the current segment while every skipped breakpoint stays
+  // within tol of the straight line from the anchor to the candidate end.
+  size_t anchor = 0;
+  size_t i = 1;
+  while (i + 1 < points_.size()) {
+    // Try to skip breakpoint i: line from anchor to i+1.
+    const Point& a = points_[anchor];
+    const Point& c = points_[i + 1];
+    bool ok = true;
+    for (size_t j = anchor + 1; j <= i; ++j) {
+      const Point& p = points_[j];
+      const double span = c.t - a.t;
+      const double lv = span < kTimeEps
+                            ? a.v
+                            : a.v + (p.t - a.t) / span * (c.v - a.v);
+      if (std::abs(lv - p.v) > tol) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ++i;  // breakpoint i is redundant; consider extending further
+    } else {
+      out.push_back(points_[i]);
+      anchor = i;
+      ++i;
+    }
+  }
+  out.push_back(points_.back());
+  return Pwl(std::move(out));
+}
+
+std::string Pwl::to_string() const {
+  std::ostringstream os;
+  os << "Pwl[";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i) os << ", ";
+    os << "(" << points_[i].t << ", " << points_[i].v << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+Pwl Pwl::sum(std::span<const Pwl* const> terms) {
+  std::vector<double> times;
+  for (const Pwl* w : terms) {
+    TKA_ASSERT(w != nullptr);
+    for (const Point& p : w->points()) times.push_back(p.t);
+  }
+  if (times.empty()) return Pwl();
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end(),
+                          [](double x, double y) { return std::abs(x - y) < kTimeEps; }),
+              times.end());
+  std::vector<Point> pts;
+  pts.reserve(times.size());
+  for (double t : times) {
+    double v = 0.0;
+    for (const Pwl* w : terms) v += w->value(t);
+    pts.push_back({t, v});
+  }
+  return Pwl(std::move(pts));
+}
+
+}  // namespace tka::wave

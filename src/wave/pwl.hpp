@@ -1,0 +1,120 @@
+// Piecewise-linear waveform algebra.
+//
+// Everything in the linear noise framework — victim transitions, coupling
+// noise pulses, trapezoidal noise envelopes, combined envelopes and noisy
+// waveforms — is represented as a piecewise-linear voltage-vs-time curve.
+// Outside its breakpoint span a waveform extrapolates with its boundary
+// value held constant (signals settle; pulses return to zero).
+//
+// Units across the library: time in nanoseconds, voltage in volts.
+#pragma once
+
+#include <cstddef>
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tka::wave {
+
+/// One breakpoint of a piecewise-linear waveform.
+struct Point {
+  double t = 0.0;  ///< time (ns)
+  double v = 0.0;  ///< value (V)
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Immutable-ish piecewise-linear waveform: strictly increasing breakpoint
+/// times, linear interpolation between them, constant extrapolation beyond
+/// the ends. An empty waveform is identically zero.
+class Pwl {
+ public:
+  Pwl() = default;
+
+  /// Builds from breakpoints; times must be non-decreasing (duplicates of
+  /// equal time are merged, keeping the later value — a zero-width step).
+  explicit Pwl(std::vector<Point> points);
+
+  /// The constant-zero waveform.
+  static Pwl zero() { return Pwl(); }
+
+  /// A constant waveform of value `v` (no breakpoints needed; represented
+  /// with a single anchor at t=0 so arithmetic keeps the value).
+  static Pwl constant(double v);
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+
+  /// First/last breakpoint time. Asserts non-empty.
+  double t_front() const;
+  double t_back() const;
+
+  /// Value at time t (linear interpolation, constant extrapolation).
+  double value(double t) const;
+
+  /// Maximum breakpoint value (0 for the empty waveform).
+  double peak() const;
+  /// Time of the first breakpoint attaining peak(). t_front() fallback.
+  double peak_time() const;
+  /// Minimum breakpoint value (0 for the empty waveform).
+  double min_value() const;
+
+  /// Waveform shifted right by dt.
+  Pwl shifted(double dt) const;
+
+  /// Waveform scaled by factor a (values only).
+  Pwl scaled(double a) const;
+
+  /// Pointwise sum.
+  Pwl plus(const Pwl& other) const;
+
+  /// Pointwise difference (this - other).
+  Pwl minus(const Pwl& other) const;
+
+  /// Pointwise maximum (upper envelope); inserts crossing breakpoints.
+  Pwl upper_envelope(const Pwl& other) const;
+
+  /// Values clamped to [lo, hi].
+  Pwl clamped(double lo, double hi) const;
+
+  /// True if this(t) >= other(t) - tol for every t in [t_lo, t_hi].
+  /// Both waveforms are linear between merged breakpoints, so the check is
+  /// exact on the merged breakpoint set plus interval ends.
+  bool encapsulates(const Pwl& other, double t_lo, double t_hi,
+                    double tol = 1e-9) const;
+
+  /// Latest time at which the waveform is <= level. For a rising noisy
+  /// victim transition this is the noisy t50 (the final 50%-Vdd crossing).
+  /// Returns nullopt when the waveform never reaches <= level, or when it
+  /// ends at or below level (so the "latest" time is unbounded).
+  std::optional<double> last_time_at_or_below(double level) const;
+
+  /// Earliest time at which the waveform is >= level; nullopt if never, or
+  /// if it starts at/above level (unbounded below).
+  std::optional<double> first_time_at_or_above(double level) const;
+
+  /// Area under the curve between the first and last breakpoints
+  /// (trapezoidal; exact for PWL).
+  double integral() const;
+
+  /// Removes breakpoints whose removal changes the waveform by at most
+  /// `tol` anywhere (greedy collinearity sweep). Bounds breakpoint growth
+  /// when envelopes are combined repeatedly.
+  Pwl simplified(double tol) const;
+
+  /// Human-readable dump for debugging/tests.
+  std::string to_string() const;
+
+  /// Pointwise sum of many waveforms (k-way merge; equivalent to folding
+  /// plus() but with one allocation pass).
+  static Pwl sum(std::span<const Pwl* const> terms);
+
+ private:
+  // Invariant: points_ sorted by strictly increasing t.
+  std::vector<Point> points_;
+};
+
+}  // namespace tka::wave

@@ -1,0 +1,19 @@
+#include "wave/ramp.hpp"
+
+#include "util/assert.hpp"
+
+namespace tka::wave {
+
+Pwl make_rising_ramp(double t50, double trans, double vdd) {
+  TKA_ASSERT(trans > 0.0);
+  TKA_ASSERT(vdd > 0.0);
+  return Pwl({{t50 - 0.5 * trans, 0.0}, {t50 + 0.5 * trans, vdd}});
+}
+
+Pwl make_falling_ramp(double t50, double trans, double vdd) {
+  TKA_ASSERT(trans > 0.0);
+  TKA_ASSERT(vdd > 0.0);
+  return Pwl({{t50 - 0.5 * trans, vdd}, {t50 + 0.5 * trans, 0.0}});
+}
+
+}  // namespace tka::wave

@@ -1,0 +1,20 @@
+// Saturated-ramp signal transitions.
+//
+// STA in the linear framework models every switching signal as a saturated
+// ramp: flat at the initial rail, a linear 0-to-100% transition of duration
+// `trans`, then flat at the final rail. t50 (the 50%-Vdd crossing) is the
+// ramp midpoint and is the quantity timing windows are expressed in.
+#pragma once
+
+#include "wave/pwl.hpp"
+
+namespace tka::wave {
+
+/// Rising ramp: 0 V before, Vdd after, t50 at the midpoint, `trans` is the
+/// full 0-100% transition time (> 0).
+Pwl make_rising_ramp(double t50, double trans, double vdd);
+
+/// Falling ramp: Vdd before, 0 V after.
+Pwl make_falling_ramp(double t50, double trans, double vdd);
+
+}  // namespace tka::wave

@@ -1,0 +1,32 @@
+// 4-bit ripple-carry adder in the library's structural-Verilog subset.
+module adder4 (a0, a1, a2, a3, b0, b1, b2, b3, cin,
+               s0, s1, s2, s3, cout);
+  input a0, a1, a2, a3, b0, b1, b2, b3, cin;
+  output s0, s1, s2, s3, cout;
+  wire p0, g0, c1, p1, g1, c2, p2, g2, c3, p3, g3;
+  wire t0, t1, t2, t3;
+
+  XOR2X1 px0 (.A(a0), .B(b0), .Y(p0));
+  AND2X1 gx0 (.A(a0), .B(b0), .Y(g0));
+  XOR2X1 sx0 (.A(p0), .B(cin), .Y(s0));
+  AND2X1 tx0 (.A(p0), .B(cin), .Y(t0));
+  OR2X1  cx0 (.A(g0), .B(t0), .Y(c1));
+
+  XOR2X1 px1 (.A(a1), .B(b1), .Y(p1));
+  AND2X1 gx1 (.A(a1), .B(b1), .Y(g1));
+  XOR2X1 sx1 (.A(p1), .B(c1), .Y(s1));
+  AND2X1 tx1 (.A(p1), .B(c1), .Y(t1));
+  OR2X1  cx1 (.A(g1), .B(t1), .Y(c2));
+
+  XOR2X1 px2 (.A(a2), .B(b2), .Y(p2));
+  AND2X1 gx2 (.A(a2), .B(b2), .Y(g2));
+  XOR2X1 sx2 (.A(p2), .B(c2), .Y(s2));
+  AND2X1 tx2 (.A(p2), .B(c2), .Y(t2));
+  OR2X1  cx2 (.A(g2), .B(t2), .Y(c3));
+
+  XOR2X1 px3 (.A(a3), .B(b3), .Y(p3));
+  AND2X1 gx3 (.A(a3), .B(b3), .Y(g3));
+  XOR2X1 sx3 (.A(p3), .B(c3), .Y(s3));
+  AND2X1 tx3 (.A(p3), .B(c3), .Y(t3));
+  OR2X1  cx3 (.A(g3), .B(t3), .Y(cout));
+endmodule

@@ -1,0 +1,111 @@
+// Tests for the exact worst-case alignment search and its relationship to
+// the trapezoidal-envelope bound (the paper's §2 foundation: the envelope
+// must bound every admissible alignment).
+#include <gtest/gtest.h>
+
+#include "noise/alignment.hpp"
+#include "noise/noise_analyzer.hpp"
+#include "util/rng.hpp"
+#include "wave/envelope.hpp"
+#include "wave/ramp.hpp"
+
+namespace tka::noise {
+namespace {
+
+TEST(Alignment, EmptyAggressorsNoNoise) {
+  const AlignmentResult res = worst_alignment({}, 1.0, 0.1, 1.2);
+  EXPECT_DOUBLE_EQ(res.delay_noise, 0.0);
+  EXPECT_TRUE(res.starts.empty());
+}
+
+TEST(Alignment, SingleAggressorPrefersLateAlignment) {
+  // A pulse can slide over [0.2, 1.2]; the victim switches at t50=1.3. The
+  // worst start is near the late edge (pulse overlapping the transition).
+  AlignedAggressor a{{0.4, 0.05, 0.2}, 0.2, 1.2};
+  const AlignmentResult res = worst_alignment({a}, 1.3, 0.1, 1.2);
+  EXPECT_GT(res.delay_noise, 0.0);
+  ASSERT_EQ(res.starts.size(), 1u);
+  EXPECT_GT(res.starts[0], 0.9);
+}
+
+TEST(Alignment, DegenerateWindowIsFixed) {
+  AlignedAggressor a{{0.4, 0.05, 0.2}, 0.7, 0.7};
+  const AlignmentResult res = worst_alignment({a}, 0.8, 0.1, 1.2);
+  ASSERT_EQ(res.starts.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.starts[0], 0.7);
+}
+
+TEST(Alignment, ExplicitAlignmentEvaluation) {
+  AlignedAggressor a{{0.5, 0.05, 0.2}, 0.0, 2.0};
+  // Pulse far before the transition: no noise.
+  EXPECT_DOUBLE_EQ(
+      delay_noise_at_alignment({a}, {0.0}, 5.0, 0.1, 1.2), 0.0);
+  // Pulse overlapping the transition: noise.
+  EXPECT_GT(delay_noise_at_alignment({a}, {4.9}, 5.0, 0.1, 1.2), 0.0);
+}
+
+TEST(Alignment, TwoAggressorsBeatOneWhenStacked) {
+  AlignedAggressor a{{0.35, 0.05, 0.2}, 0.5, 1.5};
+  AlignedAggressor b = a;
+  const AlignmentResult one = worst_alignment({a}, 1.6, 0.1, 1.2);
+  const AlignmentResult two = worst_alignment({a, b}, 1.6, 0.1, 1.2);
+  EXPECT_GT(two.delay_noise, one.delay_noise);
+}
+
+TEST(Alignment, CoordinateDescentHandlesManyAggressors) {
+  std::vector<AlignedAggressor> aggs;
+  for (int i = 0; i < 6; ++i) {
+    aggs.push_back({{0.15, 0.05, 0.15}, 0.2 * i, 0.2 * i + 1.0});
+  }
+  AlignmentOptions opt;
+  opt.max_exhaustive = 3;  // force the descent path
+  const AlignmentResult res = worst_alignment(aggs, 1.4, 0.1, 1.2, opt);
+  EXPECT_GT(res.delay_noise, 0.0);
+  ASSERT_EQ(res.starts.size(), 6u);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    EXPECT_GE(res.starts[i], aggs[i].start_min - 1e-12);
+    EXPECT_LE(res.starts[i], aggs[i].start_max + 1e-12);
+  }
+}
+
+// Property: the trapezoidal envelope's delay noise upper-bounds the exact
+// worst alignment for any (random) configuration.
+class EnvelopeBoundsAlignment : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnvelopeBoundsAlignment, EnvelopeIsUpperBound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const double vdd = 1.2;
+  for (int trial = 0; trial < 10; ++trial) {
+    const int num_aggs = 1 + static_cast<int>(rng.next_below(3));
+    std::vector<AlignedAggressor> aggs;
+    std::vector<wave::Pwl> envelopes;
+    std::vector<const wave::Pwl*> terms;
+    for (int i = 0; i < num_aggs; ++i) {
+      AlignedAggressor a;
+      a.shape = {rng.next_double(0.1, 0.5), rng.next_double(0.03, 0.2),
+                 rng.next_double(0.1, 0.4)};
+      a.start_min = rng.next_double(0.0, 1.5);
+      a.start_max = a.start_min + rng.next_double(0.0, 1.0);
+      envelopes.push_back(
+          wave::make_trapezoidal_envelope(a.shape, a.start_min, a.start_max));
+      aggs.push_back(a);
+    }
+    for (const wave::Pwl& e : envelopes) terms.push_back(&e);
+    const wave::Pwl combined = wave::Pwl::sum(terms);
+
+    const double victim_t50 = rng.next_double(0.5, 2.5);
+    const double victim_trans = rng.next_double(0.05, 0.3);
+    const wave::Pwl vic = wave::make_rising_ramp(victim_t50, victim_trans, vdd);
+    const double bound = delay_noise(vic, combined, vdd, victim_t50);
+
+    const AlignmentResult exact =
+        worst_alignment(aggs, victim_t50, victim_trans, vdd);
+    EXPECT_GE(bound + 1e-9, exact.delay_noise)
+        << "trial " << trial << ": envelope bound violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvelopeBoundsAlignment, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace tka::noise

@@ -1,0 +1,127 @@
+// Unit tests for the brute-force baseline itself (combination enumeration,
+// timeout behavior, degenerate inputs) — the comparator must be trustworthy
+// before it can validate the engine.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "noise/coupling_calc.hpp"
+#include "topk/brute_force.hpp"
+
+namespace tka::topk {
+namespace {
+
+using test::Fixture;
+
+struct BfHarness {
+  Fixture fx;
+  sta::DelayModel model;
+  noise::AnalyticCouplingCalculator calc;
+
+  explicit BfHarness(Fixture f)
+      : fx(std::move(f)),
+        model(*fx.netlist, fx.parasitics),
+        calc(fx.parasitics, model) {}
+
+  BruteForceOptions options(int k, Mode mode) const {
+    BruteForceOptions opt;
+    opt.k = k;
+    opt.mode = mode;
+    opt.iterative.sta = fx.sta_options();
+    return opt;
+  }
+};
+
+Fixture two_cap_fixture() {
+  Fixture fx = test::make_parallel_chains(3, 2);
+  test::couple(fx, "c0_n1", "c1_n1", 0.012);  // strong
+  test::couple(fx, "c0_n1", "c2_n1", 0.004);  // weak
+  return fx;
+}
+
+TEST(BruteForce, EnumeratesAllCombinations) {
+  BfHarness h(two_cap_fixture());
+  const auto res1 = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                     h.calc, h.options(1, Mode::kAddition));
+  ASSERT_TRUE(res1.has_value());
+  EXPECT_EQ(res1->subsets_evaluated, 2u);  // C(2,1)
+  const auto res2 = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                     h.calc, h.options(2, Mode::kAddition));
+  ASSERT_TRUE(res2.has_value());
+  EXPECT_EQ(res2->subsets_evaluated, 1u);  // C(2,2)
+}
+
+TEST(BruteForce, PicksStrongerCapAtK1) {
+  BfHarness h(two_cap_fixture());
+  const auto add = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                    h.calc, h.options(1, Mode::kAddition));
+  ASSERT_TRUE(add.has_value());
+  EXPECT_EQ(add->members, (std::vector<layout::CapId>{0}));
+  const auto elim = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                     h.calc, h.options(1, Mode::kElimination));
+  ASSERT_TRUE(elim.has_value());
+  EXPECT_EQ(elim->members, (std::vector<layout::CapId>{0}));
+  // Addition of the strong cap hurts more than elimination's residual.
+  EXPECT_GT(add->delay, elim->delay);
+}
+
+TEST(BruteForce, FullSetReachesExtremes) {
+  BfHarness h(two_cap_fixture());
+  noise::IterativeOptions it;
+  it.sta = h.fx.sta_options();
+  const auto all_on = noise::analyze_iterative(
+      *h.fx.netlist, h.fx.parasitics, h.model, h.calc,
+      noise::CouplingMask::all(2), it);
+  const auto add = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                    h.calc, h.options(2, Mode::kAddition));
+  EXPECT_NEAR(add->delay, all_on.noisy_delay, 1e-9);
+  const auto elim = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                     h.calc, h.options(2, Mode::kElimination));
+  EXPECT_NEAR(elim->delay, all_on.noiseless_delay, 1e-9);
+}
+
+TEST(BruteForce, NulloptWhenTooFewCouplings) {
+  BfHarness h(two_cap_fixture());
+  EXPECT_FALSE(brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model, h.calc,
+                                h.options(3, Mode::kAddition))
+                   .has_value());
+}
+
+TEST(BruteForce, ZeroedCapsExcludedFromPool) {
+  Fixture fx = two_cap_fixture();
+  fx.parasitics.zero_coupling(1);
+  BfHarness h(std::move(fx));
+  const auto res = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                    h.calc, h.options(1, Mode::kAddition));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->subsets_evaluated, 1u);
+  EXPECT_EQ(res->members, (std::vector<layout::CapId>{0}));
+  EXPECT_FALSE(brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model, h.calc,
+                                h.options(2, Mode::kAddition))
+                   .has_value());
+}
+
+TEST(BruteForce, TimeoutIsHonored) {
+  // Many couplings + k=3 would need thousands of evaluations; a zero-ish
+  // timeout must abort quickly and be flagged.
+  Fixture fx = test::make_parallel_chains(4, 3);
+  for (const char* a : {"c0_n0", "c0_n1", "c0_n2"}) {
+    for (const char* b : {"c1", "c2", "c3"}) {
+      for (int i = 0; i < 3; ++i) {
+        test::couple(fx, a, std::string(b) + "_n" + std::to_string(i), 0.003);
+      }
+    }
+  }
+  BfHarness h(std::move(fx));
+  BruteForceOptions opt = h.options(3, Mode::kAddition);
+  opt.timeout_s = 0.02;
+  const auto res = brute_force_topk(*h.fx.netlist, h.fx.parasitics, h.model,
+                                    h.calc, opt);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->timed_out);
+  EXPECT_LT(res->runtime_s, 1.0);
+  // Partial results are still reported (best found so far).
+  EXPECT_EQ(res->members.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tka::topk

@@ -1,0 +1,188 @@
+// Tests for the MNA linear solver: LU correctness, RC transient behavior
+// against closed-form solutions, and coupled-RC pulse characterization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/coupled_rc.hpp"
+#include "circuit/matrix.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/transient.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "wave/ramp.hpp"
+
+namespace tka::circuit {
+namespace {
+
+TEST(Matrix, MultiplyAndAdd) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const std::vector<double> v = {1.0, 1.0};
+  const std::vector<double> r = m.multiply(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 7.0);
+  Matrix s = m.plus(m.scaled(-1.0));
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 1), 0.0);
+}
+
+TEST(LuSolver, SolvesKnownSystem) {
+  Matrix m(3, 3);
+  // [2 1 0; 1 3 1; 0 1 4] x = [3; 7; 13] -> x = [1; 1; 3]
+  m.at(0, 0) = 2; m.at(0, 1) = 1;
+  m.at(1, 0) = 1; m.at(1, 1) = 3; m.at(1, 2) = 1;
+  m.at(2, 1) = 1; m.at(2, 2) = 4;
+  LuSolver lu(m);
+  const std::vector<double> x = lu.solve({3.0, 7.0, 13.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(LuSolver, PivotsOnZeroDiagonal) {
+  Matrix m(2, 2);
+  m.at(0, 1) = 1.0;  // zero at (0,0) forces a row swap
+  m.at(1, 0) = 1.0;
+  LuSolver lu(m);
+  const std::vector<double> x = lu.solve({2.0, 5.0});
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuSolver, ThrowsOnSingular) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 2.0;
+  m.at(1, 1) = 4.0;
+  EXPECT_THROW(LuSolver{m}, Error);
+}
+
+TEST(LuSolver, RandomSystemsRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.next_below(8);
+    Matrix m(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) m.at(r, c) = rng.next_double(-1.0, 1.0);
+      m.at(r, r) += 4.0;  // diagonally dominant -> well conditioned
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.next_double(-2.0, 2.0);
+    const std::vector<double> b = m.multiply(x_true);
+    const std::vector<double> x = LuSolver(m).solve(b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+// RC low-pass step response: v(t) = Vdd (1 - exp(-t/RC)).
+TEST(Transient, RcStepMatchesClosedForm) {
+  LinearCircuit ckt;
+  const NodeId src = ckt.add_node("src");
+  const NodeId out = ckt.add_node("out");
+  const double r = 1.0;   // kOhm
+  const double c = 0.5;   // pF -> tau = 0.5 ns
+  ckt.add_vsource(src, wave::Pwl({{0.0, 0.0}, {0.001, 1.0}}));  // fast step
+  ckt.add_resistor(src, out, r);
+  ckt.add_capacitor(out, 0, c);
+
+  TransientOptions opt;
+  opt.t_end = 3.0;
+  opt.step = 0.002;
+  const TransientResult res = simulate(ckt, opt);
+  const wave::Pwl v = res.waveform(out);
+  for (double t = 0.2; t <= 2.5; t += 0.25) {
+    const double expected = 1.0 - std::exp(-t / (r * c));
+    EXPECT_NEAR(v.value(t), expected, 0.01) << "t=" << t;
+  }
+}
+
+TEST(Transient, DcOperatingPointRespected) {
+  LinearCircuit ckt;
+  const NodeId src = ckt.add_node();
+  const NodeId mid = ckt.add_node();
+  ckt.add_vsource(src, wave::Pwl::constant(2.0));
+  ckt.add_resistor(src, mid, 1.0);
+  ckt.add_resistor(mid, 0, 1.0);
+  ckt.add_capacitor(mid, 0, 0.1);
+  TransientOptions opt;
+  opt.t_end = 1.0;
+  opt.step = 0.01;
+  const TransientResult res = simulate(ckt, opt);
+  // Divider: 1.0 V at all times (starts at DC).
+  EXPECT_NEAR(res.waveform(mid).value(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(res.waveform(mid).value(0.9), 1.0, 1e-6);
+}
+
+TEST(Transient, ChargeConservationOnFloatingCap) {
+  // Cap between two resistive dividers settles without oscillation
+  // (trapezoidal integration is A-stable).
+  LinearCircuit ckt;
+  const NodeId src = ckt.add_node();
+  const NodeId a = ckt.add_node();
+  const NodeId b = ckt.add_node();
+  ckt.add_vsource(src, wave::make_rising_ramp(0.5, 0.2, 1.0));
+  ckt.add_resistor(src, a, 0.5);
+  ckt.add_resistor(a, 0, 2.0);
+  ckt.add_capacitor(a, b, 0.2);
+  ckt.add_resistor(b, 0, 1.0);
+  TransientOptions opt;
+  opt.t_end = 5.0;
+  opt.step = 0.005;
+  const TransientResult res = simulate(ckt, opt);
+  // b returns to ~0 after the coupling event.
+  EXPECT_NEAR(res.waveform(b).value(4.8), 0.0, 1e-3);
+  // a settles to the divider value 0.8.
+  EXPECT_NEAR(res.waveform(a).value(4.8), 0.8, 1e-3);
+}
+
+TEST(CoupledRc, PulseIsPositiveAndReturnsToZero) {
+  CoupledRcParams p;
+  const wave::Pwl pulse = simulate_noise_pulse(p);
+  EXPECT_GT(pulse.peak(), 0.0);
+  EXPECT_GE(pulse.min_value(), -0.02);  // tiny undershoot tolerated
+  EXPECT_NEAR(pulse.value(pulse.t_back()), 0.0, 1e-3);
+}
+
+TEST(CoupledRc, PeakScalesWithCouplingCap) {
+  CoupledRcParams small;
+  small.cc = 0.01;
+  CoupledRcParams large = small;
+  large.cc = 0.04;
+  EXPECT_GT(simulate_noise_pulse(large).peak(), simulate_noise_pulse(small).peak() * 1.5);
+}
+
+TEST(CoupledRc, PeakDecreasesWithSlowerAggressor) {
+  CoupledRcParams fast;
+  fast.agg_trans = 0.05;
+  CoupledRcParams slow = fast;
+  slow.agg_trans = 0.8;
+  EXPECT_GT(simulate_noise_pulse(fast).peak(), simulate_noise_pulse(slow).peak());
+}
+
+TEST(CoupledRc, PeakBoundedByChargeSharing) {
+  CoupledRcParams p;
+  p.cc = 0.05;
+  const double cv = p.c1v + p.c2v + p.cc;
+  const double bound = p.vdd * p.cc / cv;
+  EXPECT_LE(simulate_noise_pulse(p).peak(), bound * 1.05);
+}
+
+TEST(CoupledRc, CharacterizeExtractsShape) {
+  CoupledRcParams p;
+  const wave::PulseShape shape = characterize_noise_pulse(p);
+  EXPECT_GT(shape.peak, 0.0);
+  EXPECT_GT(shape.rise, 0.0);
+  EXPECT_GT(shape.tau, 0.0);
+  // The synthetic pulse built from the shape should resemble the simulated
+  // one in peak (same by construction) and rough width.
+  const wave::Pwl sim = simulate_noise_pulse(p);
+  EXPECT_NEAR(shape.peak, sim.peak(), 1e-9);
+}
+
+}  // namespace
+}  // namespace tka::circuit

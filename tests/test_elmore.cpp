@@ -1,0 +1,115 @@
+// Tests for per-sink Elmore wire delays.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/circuit_generator.hpp"
+#include "layout/extractor.hpp"
+#include "layout/placer.hpp"
+#include "layout/router.hpp"
+#include "net/builder.hpp"
+#include "sta/elmore.hpp"
+
+namespace tka::sta {
+namespace {
+
+struct ElmoreSetup {
+  std::unique_ptr<net::Netlist> nl;
+  layout::Placement placement;
+  std::vector<layout::Route> routes;
+  layout::ExtractorOptions ex;
+  layout::Parasitics par{0};
+  std::unique_ptr<DelayModel> model;
+
+  explicit ElmoreSetup(std::unique_ptr<net::Netlist> netlist)
+      : nl(std::move(netlist)),
+        placement(layout::grid_place(*nl, {})),
+        routes(layout::route_all(*nl, placement)) {
+    par = layout::extract(*nl, routes, ex);
+    model = std::make_unique<DelayModel>(*nl, par);
+  }
+};
+
+TEST(Elmore, RouterRecordsPerSinkSegments) {
+  ElmoreSetup s(net::make_c17());
+  for (net::NetId n = 0; n < s.nl->num_nets(); ++n) {
+    const layout::Route& r = s.routes[n];
+    EXPECT_EQ(r.sinks.size(), s.nl->net(n).fanouts.size());
+    // Flat segment list covers exactly the per-sink segments.
+    size_t total = 0;
+    for (const layout::SinkSegments& sk : r.sinks) total += sk.segments.size();
+    if (!r.sinks.empty()) EXPECT_EQ(r.segments.size(), total);
+  }
+}
+
+TEST(Elmore, DelaysPositiveAndFiniteForAllSinks) {
+  ElmoreSetup s(net::make_c17());
+  const auto delays = elmore_sink_delays(*s.nl, *s.model, s.routes, s.ex);
+  for (net::NetId n = 0; n < s.nl->num_nets(); ++n) {
+    EXPECT_EQ(delays[n].size(), s.nl->net(n).fanouts.size());
+    for (const SinkDelay& d : delays[n]) {
+      EXPECT_GT(d.wire_delay_ns, 0.0);
+      EXPECT_LT(d.wire_delay_ns, 10.0);
+    }
+  }
+}
+
+TEST(Elmore, FartherSinkHasLargerDelay) {
+  // A fanout-heavy net: the sink with the longest route must have the
+  // largest Elmore delay (common term is shared; wire term grows with
+  // distance).
+  gen::GeneratorParams p;
+  p.num_gates = 60;
+  p.seed = 23;
+  const gen::GeneratedCircuit c = gen::generate_circuit(p);
+  const layout::Placement placement = layout::grid_place(*c.netlist, {});
+  const auto routes = layout::route_all(*c.netlist, placement);
+  layout::ExtractorOptions ex;
+  DelayModel model(*c.netlist, c.parasitics);
+  const auto delays = elmore_sink_delays(*c.netlist, model, routes, ex);
+
+  // Compare sink pairs with equal pin caps (different sink cells load the
+  // wire differently, which can outweigh a short length difference).
+  int multi_fanout_checked = 0;
+  for (net::NetId n = 0; n < c.netlist->num_nets(); ++n) {
+    const auto& sinks = routes[n].sinks;
+    for (size_t i = 0; i < sinks.size(); ++i) {
+      for (size_t j = 0; j < sinks.size(); ++j) {
+        const double cap_i = c.netlist->cell_of(sinks[i].pin.gate).input_cap_pf;
+        const double cap_j = c.netlist->cell_of(sinks[j].pin.gate).input_cap_pf;
+        if (cap_i != cap_j) continue;
+        if (sinks[i].length() > sinks[j].length() + 1.0) {
+          EXPECT_GE(delays[n][i].wire_delay_ns, delays[n][j].wire_delay_ns)
+              << "net " << n;
+          ++multi_fanout_checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(multi_fanout_checked, 0);
+}
+
+TEST(Elmore, CommonTermDominatedByDriverCharge) {
+  // For a single short sink, the Elmore delay is close to Rdrv * Cload.
+  ElmoreSetup s(net::make_chain(2));
+  const auto delays = elmore_sink_delays(*s.nl, *s.model, s.routes, s.ex);
+  const net::NetId pi = s.nl->primary_inputs().front();
+  ASSERT_EQ(delays[pi].size(), 1u);
+  const double common = s.model->driver_res_kohm(pi) * s.model->net_load_pf(pi);
+  EXPECT_GT(delays[pi][0].wire_delay_ns, common);
+  EXPECT_LT(delays[pi][0].wire_delay_ns, 1.5 * common + 0.01);
+}
+
+TEST(Elmore, WorstSinkSelection) {
+  ElmoreSetup s(net::make_c17());
+  const auto delays = elmore_sink_delays(*s.nl, *s.model, s.routes, s.ex);
+  const std::vector<double> worst = worst_sink_delay(delays, s.nl->num_nets());
+  for (net::NetId n = 0; n < s.nl->num_nets(); ++n) {
+    double expect = 0.0;
+    for (const SinkDelay& d : delays[n]) expect = std::max(expect, d.wire_delay_ns);
+    EXPECT_DOUBLE_EQ(worst[n], expect);
+  }
+}
+
+}  // namespace
+}  // namespace tka::sta

@@ -1,0 +1,125 @@
+// Tests for the synthetic benchmark generator and the i1..i10 suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/benchmark_suite.hpp"
+#include "gen/circuit_generator.hpp"
+#include "net/topo.hpp"
+#include "sta/analyzer.hpp"
+#include "util/error.hpp"
+
+namespace tka::gen {
+namespace {
+
+TEST(Generator, ProducesValidDeterministicCircuit) {
+  GeneratorParams p;
+  p.num_gates = 80;
+  p.target_couplings = 300;
+  p.seed = 42;
+  const GeneratedCircuit a = generate_circuit(p);
+  const GeneratedCircuit b = generate_circuit(p);
+  a.netlist->validate();
+  EXPECT_EQ(a.netlist->num_gates(), b.netlist->num_gates());
+  EXPECT_EQ(a.netlist->num_nets(), b.netlist->num_nets());
+  EXPECT_EQ(a.parasitics.num_couplings(), b.parasitics.num_couplings());
+  for (layout::CapId id = 0; id < a.parasitics.num_couplings(); ++id) {
+    EXPECT_EQ(a.parasitics.coupling(id).net_a, b.parasitics.coupling(id).net_a);
+    EXPECT_DOUBLE_EQ(a.parasitics.coupling(id).cap_pf,
+                     b.parasitics.coupling(id).cap_pf);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorParams p;
+  p.num_gates = 80;
+  p.seed = 1;
+  const GeneratedCircuit a = generate_circuit(p);
+  p.seed = 2;
+  const GeneratedCircuit b = generate_circuit(p);
+  // Structure almost surely differs: compare gate fanin wiring and the
+  // extracted coupling values.
+  bool differs = a.netlist->num_gates() != b.netlist->num_gates() ||
+                 a.parasitics.num_couplings() != b.parasitics.num_couplings();
+  if (!differs) {
+    for (net::GateId g = 0; g < a.netlist->num_gates() && !differs; ++g) {
+      differs = a.netlist->gate(g).inputs != b.netlist->gate(g).inputs;
+    }
+    for (layout::CapId c = 0; c < a.parasitics.num_couplings() && !differs; ++c) {
+      differs = a.parasitics.coupling(c).cap_pf != b.parasitics.coupling(c).cap_pf;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, GateCountNearTarget) {
+  GeneratorParams p;
+  p.num_gates = 200;
+  p.seed = 7;
+  const GeneratedCircuit c = generate_circuit(p);
+  // A few gates may be skipped on degenerate fanin picks.
+  EXPECT_GE(c.netlist->num_gates(), 190u);
+  EXPECT_LE(c.netlist->num_gates(), 200u);
+}
+
+TEST(Generator, CouplingTargetRespected) {
+  GeneratorParams p;
+  p.num_gates = 150;
+  p.target_couplings = 400;
+  p.seed = 3;
+  const GeneratedCircuit c = generate_circuit(p);
+  EXPECT_LE(c.parasitics.num_couplings(), 400u);
+  EXPECT_GE(c.parasitics.num_couplings(), 200u);  // enough density exists
+}
+
+TEST(Generator, ArrivalsCreateWindowDiversity) {
+  GeneratorParams p;
+  p.num_gates = 100;
+  p.seed = 9;
+  const GeneratedCircuit c = generate_circuit(p);
+  sta::DelayModel model(*c.netlist, c.parasitics);
+  const sta::StaResult res = sta::run_sta(*c.netlist, model, c.sta_options());
+  int with_width = 0;
+  for (net::NetId n : c.netlist->primary_inputs()) {
+    if (res.windows[n].width() > 1e-6) ++with_width;
+  }
+  EXPECT_GT(with_width, 0);
+  EXPECT_GT(res.max_lat, 0.1);  // non-trivial depth
+}
+
+TEST(Generator, HasLogicDepth) {
+  GeneratorParams p;
+  p.num_gates = 150;
+  p.seed = 11;
+  const GeneratedCircuit c = generate_circuit(p);
+  const std::vector<int> lv = net::net_levels(*c.netlist);
+  EXPECT_GE(*std::max_element(lv.begin(), lv.end()), p.min_depth / 2);
+}
+
+TEST(Suite, TenSpecsWithPaperSizes) {
+  const auto& specs = benchmark_specs();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_STREQ(specs[0].name, "i1");
+  EXPECT_EQ(specs[0].gates, 59);
+  EXPECT_EQ(specs[0].couplings, 232u);
+  EXPECT_STREQ(specs[9].name, "i10");
+  EXPECT_EQ(specs[9].gates, 3379);
+  EXPECT_EQ(specs[9].couplings, 18318u);
+  EXPECT_EQ(benchmark_spec("i5").gates, 204);
+  EXPECT_THROW(benchmark_spec("i11"), Error);
+}
+
+TEST(Suite, BuildSmallBenchmarks) {
+  for (const char* name : {"i1", "i3"}) {
+    const GeneratedCircuit c = build_benchmark(benchmark_spec(name));
+    c.netlist->validate();
+    EXPECT_GT(c.parasitics.num_couplings(), 100u) << name;
+    // Coupling count within 25% of the paper's figure (the synthetic layout
+    // must offer enough overlap pairs).
+    const double target = static_cast<double>(benchmark_spec(name).couplings);
+    EXPECT_GT(c.parasitics.num_couplings(), 0.75 * target) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tka::gen

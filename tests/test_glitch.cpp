@@ -1,0 +1,127 @@
+// Tests for functional (glitch) noise analysis.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "noise/coupling_calc.hpp"
+#include "noise/glitch.hpp"
+#include "sta/analyzer.hpp"
+
+namespace tka::noise {
+namespace {
+
+using test::Fixture;
+
+struct GlitchHarness {
+  Fixture fx;
+  sta::DelayModel model;
+  AnalyticCouplingCalculator calc;
+  sta::StaResult sta;
+  EnvelopeBuilder builder;
+
+  explicit GlitchHarness(Fixture f)
+      : fx(std::move(f)),
+        model(*fx.netlist, fx.parasitics),
+        calc(fx.parasitics, model),
+        sta(sta::run_sta(*fx.netlist, model, fx.sta_options())),
+        builder(*fx.netlist, fx.parasitics, calc, sta.windows) {}
+};
+
+TEST(Glitch, NoCouplingsNoGlitch) {
+  GlitchHarness h(test::make_parallel_chains(2, 3));
+  const GlitchReport rep = analyze_glitch(
+      *h.fx.netlist, h.fx.parasitics, h.model, h.builder,
+      CouplingMask::all(h.fx.parasitics.num_couplings()));
+  EXPECT_DOUBLE_EQ(rep.worst_peak_v, 0.0);
+  EXPECT_TRUE(rep.failing_nets.empty());
+}
+
+TEST(Glitch, CoupledPeakSumsAggressors) {
+  Fixture fx = test::make_parallel_chains(3, 2);
+  test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  test::couple(fx, "c0_n1", "c2_n1", 0.006);
+  GlitchHarness h(std::move(fx));
+  const net::NetId v = h.fx.netlist->net_by_name("c0_n1");
+  const CouplingMask all = CouplingMask::all(h.fx.parasitics.num_couplings());
+  const GlitchReport rep =
+      analyze_glitch(*h.fx.netlist, h.fx.parasitics, h.model, h.builder, all);
+  const double p0 = h.builder.pulse_shape(v, 0).peak;
+  const double p1 = h.builder.pulse_shape(v, 1).peak;
+  EXPECT_NEAR(rep.coupled_peak_v[v], p0 + p1, 1e-9);
+}
+
+TEST(Glitch, MaskExcludesAggressors) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  GlitchHarness h(std::move(fx));
+  CouplingMask none = CouplingMask::none(h.fx.parasitics.num_couplings());
+  const GlitchReport off =
+      analyze_glitch(*h.fx.netlist, h.fx.parasitics, h.model, h.builder, none);
+  EXPECT_DOUBLE_EQ(off.worst_peak_v, 0.0);
+  none.set(cap, true);
+  const GlitchReport on =
+      analyze_glitch(*h.fx.netlist, h.fx.parasitics, h.model, h.builder, none);
+  EXPECT_GT(on.worst_peak_v, 0.0);
+}
+
+TEST(Glitch, SubThresholdGlitchDoesNotPropagate) {
+  Fixture fx = test::make_parallel_chains(2, 3);
+  test::couple(fx, "c0_n0", "c1_n0", 0.003);  // modest glitch at the head
+  GlitchHarness h(std::move(fx));
+  GlitchModelOptions opt;
+  opt.threshold_frac = 0.9;  // nothing crosses this margin
+  const GlitchReport rep = analyze_glitch(
+      *h.fx.netlist, h.fx.parasitics, h.model, h.builder,
+      CouplingMask::all(h.fx.parasitics.num_couplings()), opt);
+  const net::NetId head = h.fx.netlist->net_by_name("c0_n0");
+  const net::NetId tail = h.fx.netlist->net_by_name("c0_n2");
+  EXPECT_GT(rep.propagated_peak_v[head], 0.0);
+  EXPECT_DOUBLE_EQ(rep.propagated_peak_v[tail], 0.0);
+}
+
+TEST(Glitch, SuperThresholdGlitchAmplifies) {
+  Fixture fx = test::make_parallel_chains(2, 3, 0.006);  // light loading
+  test::couple(fx, "c0_n0", "c1_n0", 0.04);  // violent coupling
+  GlitchHarness h(std::move(fx));
+  GlitchModelOptions opt;
+  opt.threshold_frac = 0.05;  // hair-trigger receivers
+  opt.gain = 3.0;
+  const GlitchReport rep = analyze_glitch(
+      *h.fx.netlist, h.fx.parasitics, h.model, h.builder,
+      CouplingMask::all(h.fx.parasitics.num_couplings()), opt);
+  const net::NetId head = h.fx.netlist->net_by_name("c0_n0");
+  const net::NetId next = h.fx.netlist->net_by_name("c0_n1");
+  EXPECT_GT(rep.propagated_peak_v[next], 0.0);
+  EXPECT_GT(rep.worst_peak_v, rep.coupled_peak_v[head] - 1e-9);
+}
+
+TEST(Glitch, FailingNetsRespectThreshold) {
+  Fixture fx = test::make_parallel_chains(2, 2, 0.006);
+  test::couple(fx, "c0_n1", "c1_n1", 0.05);
+  GlitchHarness h(std::move(fx));
+  GlitchModelOptions strict;
+  strict.fail_frac = 0.05;
+  GlitchModelOptions lax;
+  lax.fail_frac = 0.99;
+  const CouplingMask all = CouplingMask::all(h.fx.parasitics.num_couplings());
+  const GlitchReport r1 = analyze_glitch(*h.fx.netlist, h.fx.parasitics, h.model,
+                                         h.builder, all, strict);
+  const GlitchReport r2 = analyze_glitch(*h.fx.netlist, h.fx.parasitics, h.model,
+                                         h.builder, all, lax);
+  EXPECT_GT(r1.failing_nets.size(), r2.failing_nets.size());
+  EXPECT_TRUE(r2.failing_nets.empty());
+}
+
+TEST(Glitch, PeakClampedAtVdd) {
+  Fixture fx = test::make_parallel_chains(4, 2, 0.004);
+  test::couple(fx, "c0_n1", "c1_n1", 0.08);
+  test::couple(fx, "c0_n1", "c2_n1", 0.08);
+  test::couple(fx, "c0_n1", "c3_n1", 0.08);
+  GlitchHarness h(std::move(fx));
+  const GlitchReport rep = analyze_glitch(
+      *h.fx.netlist, h.fx.parasitics, h.model, h.builder,
+      CouplingMask::all(h.fx.parasitics.num_couplings()));
+  EXPECT_LE(rep.worst_peak_v, h.model.options().vdd + 1e-12);
+}
+
+}  // namespace
+}  // namespace tka::noise

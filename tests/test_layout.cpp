@@ -1,0 +1,210 @@
+// Tests for geometry, placement, routing and parasitic extraction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/extractor.hpp"
+#include "layout/geometry.hpp"
+#include "layout/parasitics.hpp"
+#include "layout/placer.hpp"
+#include "layout/router.hpp"
+#include "net/builder.hpp"
+#include "net/topo.hpp"
+
+namespace tka::layout {
+namespace {
+
+TEST(Geometry, SegmentConstructionNormalizes) {
+  const Segment h = make_h(1.0, 5.0, 2.0);
+  EXPECT_TRUE(h.horizontal());
+  EXPECT_DOUBLE_EQ(h.x1, 2.0);
+  EXPECT_DOUBLE_EQ(h.x2, 5.0);
+  EXPECT_DOUBLE_EQ(h.length(), 3.0);
+  const Segment v = make_v(0.0, 4.0, -1.0);
+  EXPECT_TRUE(v.vertical());
+  EXPECT_DOUBLE_EQ(v.y1, -1.0);
+  EXPECT_DOUBLE_EQ(v.length(), 5.0);
+}
+
+TEST(Geometry, ParallelRunOverlap) {
+  const Segment a = make_h(0.0, 0.0, 10.0);
+  const Segment b = make_h(2.0, 4.0, 14.0);
+  const ParallelRun run = parallel_run(a, b);
+  EXPECT_DOUBLE_EQ(run.overlap, 6.0);
+  EXPECT_DOUBLE_EQ(run.distance, 2.0);
+}
+
+TEST(Geometry, NoOverlapWhenDisjointOrPerpendicular) {
+  const Segment a = make_h(0.0, 0.0, 2.0);
+  const Segment b = make_h(1.0, 3.0, 5.0);
+  EXPECT_DOUBLE_EQ(parallel_run(a, b).overlap, 0.0);
+  const Segment v = make_v(1.0, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(parallel_run(a, v).overlap, 0.0);
+}
+
+TEST(Parasitics, AccumulatesAndQueries) {
+  Parasitics par(3);
+  par.add_ground_cap(0, 0.01);
+  par.add_ground_cap(0, 0.02);
+  par.add_wire_res(1, 0.5);
+  EXPECT_NEAR(par.ground_cap(0), 0.03, 1e-15);
+  EXPECT_DOUBLE_EQ(par.wire_res(1), 0.5);
+
+  const CapId c0 = par.add_coupling(0, 1, 0.005);
+  const CapId c1 = par.add_coupling(1, 2, 0.002);
+  EXPECT_EQ(par.num_couplings(), 2u);
+  EXPECT_EQ(par.coupling(c0).other(0), 1u);
+  EXPECT_EQ(par.coupling(c0).other(1), 0u);
+  EXPECT_EQ(par.couplings_of(1).size(), 2u);
+  EXPECT_NEAR(par.total_coupling_cap(1), 0.007, 1e-15);
+
+  par.zero_coupling(c1);
+  EXPECT_DOUBLE_EQ(par.coupling(c1).cap_pf, 0.0);
+  EXPECT_NEAR(par.total_coupling_cap(1), 0.005, 1e-15);
+}
+
+TEST(Placer, DeterministicAndLevelOrdered) {
+  auto nl = net::make_c17();
+  PlacerOptions opt;
+  opt.seed = 5;
+  const Placement p1 = grid_place(*nl, opt);
+  const Placement p2 = grid_place(*nl, opt);
+  for (net::GateId g = 0; g < nl->num_gates(); ++g) {
+    EXPECT_EQ(p1.gate(g).x, p2.gate(g).x);
+    EXPECT_EQ(p1.gate(g).y, p2.gate(g).y);
+  }
+  // Gates of deeper levels sit further right (col_pitch >> jitter).
+  const std::vector<int> lv = net::net_levels(*nl);
+  for (net::GateId a = 0; a < nl->num_gates(); ++a) {
+    for (net::GateId b = 0; b < nl->num_gates(); ++b) {
+      if (lv[nl->gate(a).output] < lv[nl->gate(b).output]) {
+        EXPECT_LT(p1.gate(a).x, p1.gate(b).x);
+      }
+    }
+  }
+}
+
+TEST(Placer, PrimaryInputPadsLeftOfGates) {
+  auto nl = net::make_c17();
+  const Placement p = grid_place(*nl, PlacerOptions{});
+  for (net::NetId n : nl->primary_inputs()) {
+    for (net::GateId g = 0; g < nl->num_gates(); ++g) {
+      EXPECT_LT(p.primary_input(n).x, p.gate(g).x);
+    }
+  }
+}
+
+TEST(Router, EveryNetRouted) {
+  auto nl = net::make_c17();
+  const Placement p = grid_place(*nl, PlacerOptions{});
+  const std::vector<Route> routes = route_all(*nl, p);
+  EXPECT_EQ(routes.size(), nl->num_nets());
+  for (const Route& r : routes) {
+    EXPECT_FALSE(r.segments.empty());
+    EXPECT_GT(r.total_length(), 0.0);
+  }
+}
+
+TEST(Router, LRouteReachesSink) {
+  auto nl = net::make_chain(2);
+  const Placement p = grid_place(*nl, PlacerOptions{});
+  const std::vector<Route> routes = route_all(*nl, p);
+  // The route of the PI net must touch the sink gate's location.
+  const net::NetId pi = nl->primary_inputs().front();
+  const net::GateId sink = nl->net(pi).fanouts.front().gate;
+  const XY dst = p.gate(sink);
+  bool touches = false;
+  for (const Segment& s : routes[pi].segments) {
+    if ((s.vertical() && s.x1 == dst.x && dst.y >= s.y1 - 1e-9 && dst.y <= s.y2 + 1e-9) ||
+        (s.horizontal() && s.y1 == dst.y && dst.x >= s.x1 - 1e-9 && dst.x <= s.x2 + 1e-9)) {
+      touches = true;
+    }
+  }
+  EXPECT_TRUE(touches);
+}
+
+TEST(Extractor, WireRcScalesWithLength) {
+  auto nl = net::make_chain(4);
+  const Placement p = grid_place(*nl, PlacerOptions{});
+  const std::vector<Route> routes = route_all(*nl, p);
+  ExtractorOptions opt;
+  const Parasitics par = extract(*nl, routes, opt);
+  for (net::NetId n = 0; n < nl->num_nets(); ++n) {
+    EXPECT_NEAR(par.ground_cap(n), routes[n].total_length() * opt.cap_per_um, 1e-12);
+    EXPECT_NEAR(par.wire_res(n), routes[n].total_length() * opt.res_per_um, 1e-12);
+  }
+}
+
+TEST(Extractor, CouplingsAreDistinctNetPairsWithPositiveCaps) {
+  auto nl = net::make_nand_tree(4);
+  const Placement p = grid_place(*nl, PlacerOptions{});
+  const std::vector<Route> routes = route_all(*nl, p);
+  const Parasitics par = extract(*nl, routes, ExtractorOptions{});
+  EXPECT_GT(par.num_couplings(), 0u);
+  std::set<std::pair<net::NetId, net::NetId>> seen;
+  for (const CouplingCap& cc : par.couplings()) {
+    EXPECT_NE(cc.net_a, cc.net_b);
+    EXPECT_GT(cc.cap_pf, 0.0);
+    const auto key = std::minmax(cc.net_a, cc.net_b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate pair " << cc.net_a << "," << cc.net_b;
+  }
+}
+
+TEST(Extractor, MaxCouplingsKeepsLargest) {
+  auto nl = net::make_nand_tree(4);
+  const Placement p = grid_place(*nl, PlacerOptions{});
+  const std::vector<Route> routes = route_all(*nl, p);
+  const Parasitics full = extract(*nl, routes, ExtractorOptions{});
+  ASSERT_GT(full.num_couplings(), 4u);
+
+  ExtractorOptions capped_opt;
+  capped_opt.max_couplings = 4;
+  const Parasitics capped = extract(*nl, routes, capped_opt);
+  EXPECT_EQ(capped.num_couplings(), 4u);
+  // The kept caps are the 4 largest of the full extraction.
+  std::vector<double> all_caps;
+  for (const CouplingCap& cc : full.couplings()) all_caps.push_back(cc.cap_pf);
+  std::sort(all_caps.rbegin(), all_caps.rend());
+  double min_kept = 1e9;
+  for (const CouplingCap& cc : capped.couplings()) min_kept = std::min(min_kept, cc.cap_pf);
+  EXPECT_GE(min_kept, all_caps[3] - 1e-12);
+}
+
+TEST(Extractor, CloserNetsCoupleMore) {
+  // Three parallel horizontal wires: net1 at distance 1 from net0, net2 at
+  // distance 4. The closer pair must get the larger coupling cap.
+  net::Netlist nl(net::CellLibrary::default_library(), "wires");
+  const net::NetId n0 = nl.add_primary_input("w0");
+  const net::NetId n1 = nl.add_primary_input("w1");
+  const net::NetId n2 = nl.add_primary_input("w2");
+  std::vector<Route> routes(3);
+  routes[n0] = {n0, {make_h(0.0, 0.0, 20.0)}};
+  routes[n1] = {n1, {make_h(1.0, 0.0, 20.0)}};
+  routes[n2] = {n2, {make_h(5.0, 0.0, 20.0)}};
+  const Parasitics par = extract(nl, routes, ExtractorOptions{});
+  double cap01 = 0.0;
+  double cap02 = 0.0;
+  for (const CouplingCap& cc : par.couplings()) {
+    const auto key = std::minmax(cc.net_a, cc.net_b);
+    if (key == std::minmax(n0, n1)) cap01 = cc.cap_pf;
+    if (key == std::minmax(n0, n2)) cap02 = cc.cap_pf;
+  }
+  EXPECT_GT(cap01, 0.0);
+  EXPECT_GT(cap02, 0.0);
+  EXPECT_GT(cap01, 2.0 * cap02);
+}
+
+TEST(Extractor, BeyondWindowNoCoupling) {
+  net::Netlist nl(net::CellLibrary::default_library(), "wires");
+  const net::NetId n0 = nl.add_primary_input("w0");
+  const net::NetId n1 = nl.add_primary_input("w1");
+  std::vector<Route> routes(2);
+  routes[n0] = {n0, {make_h(0.0, 0.0, 20.0)}};
+  routes[n1] = {n1, {make_h(50.0, 0.0, 20.0)}};  // 50um away
+  const Parasitics par = extract(nl, routes, ExtractorOptions{});
+  EXPECT_EQ(par.num_couplings(), 0u);
+}
+
+}  // namespace
+}  // namespace tka::layout

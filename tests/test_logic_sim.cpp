@@ -1,0 +1,107 @@
+// Tests for logic simulation, toggle profiling and the functional
+// false-aggressor filter.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "net/builder.hpp"
+#include "net/logic_sim.hpp"
+#include "noise/aggressor_filter.hpp"
+#include "noise/coupling_calc.hpp"
+
+namespace tka::net {
+namespace {
+
+std::vector<bool> pi_vector(const Netlist& nl,
+                            const std::vector<std::pair<const char*, bool>>& values) {
+  std::vector<bool> v(nl.num_nets(), false);
+  for (const auto& [name, val] : values) v[nl.net_by_name(name)] = val;
+  return v;
+}
+
+TEST(LogicSim, C17TruthTable) {
+  auto nl = make_c17();
+  // All inputs 0: N10 = NAND(0,0)=1, N11=1, N16=NAND(0,1)=1, N19=1,
+  // N22=NAND(1,1)=0, N23=0.
+  auto v = evaluate_netlist(*nl, pi_vector(*nl, {}));
+  EXPECT_TRUE(v[nl->net_by_name("N10")]);
+  EXPECT_FALSE(v[nl->net_by_name("N22")]);
+  EXPECT_FALSE(v[nl->net_by_name("N23")]);
+
+  // N1=N3=1 -> N10 = 0 -> N22 = NAND(0, x) = 1.
+  v = evaluate_netlist(*nl, pi_vector(*nl, {{"N1", true}, {"N3", true}}));
+  EXPECT_FALSE(v[nl->net_by_name("N10")]);
+  EXPECT_TRUE(v[nl->net_by_name("N22")]);
+}
+
+TEST(LogicSim, ChainPropagatesInversion) {
+  auto nl = make_chain(3);  // INV, BUF, INV
+  std::vector<bool> in(nl->num_nets(), false);
+  in[nl->primary_inputs().front()] = true;
+  const auto v = evaluate_netlist(*nl, in);
+  // INV(1)=0, BUF(0)=0, INV(0)=1.
+  EXPECT_TRUE(v[nl->primary_outputs().front()]);
+}
+
+TEST(ToggleProfileTest, PiTogglesTracked) {
+  auto nl = make_chain(2);
+  const ToggleProfile prof = profile_toggles(*nl, 128, 1, 1.0);  // always flip
+  const NetId pi = nl->primary_inputs().front();
+  const NetId po = nl->primary_outputs().front();
+  // flip_prob=1: the PI toggles in every event; the chain follows.
+  EXPECT_EQ(prof.toggle_count[pi], 128);
+  EXPECT_EQ(prof.toggle_count[po], 128);
+  EXPECT_TRUE(prof.both_toggled(pi, po));
+}
+
+TEST(ToggleProfileTest, ZeroFlipNoToggles) {
+  auto nl = make_c17();
+  const ToggleProfile prof = profile_toggles(*nl, 64, 2, 0.0);
+  for (NetId n = 0; n < nl->num_nets(); ++n) {
+    EXPECT_EQ(prof.toggle_count[n], 0);
+  }
+}
+
+TEST(ToggleProfileTest, IndependentSubtreesCanBothToggle) {
+  auto nl = make_nand_tree(2);  // 4 PIs, 3 gates
+  const ToggleProfile prof = profile_toggles(*nl, 256, 3, 0.5);
+  // With 256 events, any two nets that can toggle together almost surely
+  // did. The two mid-level NAND outputs are driven by disjoint PI pairs.
+  const NetId t0 = nl->net_by_name("t0_out");
+  const NetId t1 = nl->net_by_name("t1_out");
+  EXPECT_GT(prof.toggle_count[t0], 0);
+  EXPECT_GT(prof.toggle_count[t1], 0);
+  EXPECT_TRUE(prof.both_toggled(t0, t1));
+}
+
+TEST(FunctionalFilter, ConstantAggressorFilteredOut) {
+  // Couple a victim to a net that cannot toggle: XOR(a, a) == 0 always.
+  const CellLibrary& lib = CellLibrary::default_library();
+  auto fx = test::make_parallel_chains(2, 2);
+  Netlist& nl = *fx.netlist;
+  const NetId a = nl.net_by_name("c1_in");
+  const NetId constant = nl.add_gate(lib.index_of("XOR2X1"), {a, a}, "konst");
+  // Resize the parasitics to cover the new net and add couplings.
+  layout::Parasitics par(nl.num_nets());
+  const layout::CapId dead = par.add_coupling(nl.net_by_name("c0_n1"), constant, 0.01);
+  const layout::CapId live =
+      par.add_coupling(nl.net_by_name("c0_n0"), nl.net_by_name("c1_n0"), 0.01);
+  for (NetId n = 0; n < nl.num_nets(); ++n) par.add_ground_cap(n, 0.01);
+
+  sta::DelayModel model(nl, par);
+  noise::AnalyticCouplingCalculator calc(par, model);
+  const sta::StaResult sr = sta::run_sta(nl, model, fx.sta_options());
+  noise::EnvelopeBuilder builder(nl, par, calc, sr.windows);
+  noise::NoiseAnalyzer analyzer(nl, par, model);
+  noise::FilterOptions opt;
+  opt.functional = true;
+  opt.functional_events = 128;
+  noise::AggressorFilter filter(nl, par, analyzer, builder, opt);
+
+  // The constant net can never aggress the victim...
+  EXPECT_TRUE(filter.is_false(nl.net_by_name("c0_n1"), dead));
+  // ...while the live coupling survives.
+  EXPECT_FALSE(filter.is_false(nl.net_by_name("c0_n0"), live));
+}
+
+}  // namespace
+}  // namespace tka::net

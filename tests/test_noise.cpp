@@ -1,0 +1,397 @@
+// Tests for the noise engine: coupling calculators, envelope construction,
+// delay-noise superposition, the iterative window/noise fixpoint and the
+// false-aggressor filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixtures.hpp"
+#include "noise/aggressor_filter.hpp"
+#include "noise/coupling_calc.hpp"
+#include "noise/envelope_builder.hpp"
+#include "noise/iterative.hpp"
+#include "noise/noise_analyzer.hpp"
+#include "sta/analyzer.hpp"
+#include "wave/ramp.hpp"
+
+namespace tka::noise {
+namespace {
+
+using test::Fixture;
+
+struct Bound {
+  sta::DelayModel model;
+  sta::StaResult sta;
+  Bound(const Fixture& fx)
+      : model(*fx.netlist, fx.parasitics),
+        sta(sta::run_sta(*fx.netlist, model, fx.sta_options())) {}
+};
+
+TEST(AnalyticCalc, PeakFormulaAndBounds) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n0", "c1_n0", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  const net::NetId victim = fx.netlist->net_by_name("c0_n0");
+  const wave::PulseShape s = calc.pulse(victim, cap, 0.05);
+  EXPECT_GT(s.peak, 0.0);
+  // Never above the charge-sharing bound Vdd*Cc/(Cv+Cc).
+  const double cv = b.model.net_load_pf(victim);
+  EXPECT_LE(s.peak, 1.2 * 0.006 / (cv + 0.006) + 1e-9);
+  EXPECT_DOUBLE_EQ(s.rise, 0.05);
+  EXPECT_NEAR(s.tau, b.model.driver_res_kohm(victim) * (cv + 0.006), 1e-12);
+}
+
+TEST(AnalyticCalc, PeakMonotonicInCap) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId small = test::couple(fx, "c0_n0", "c1_n0", 0.002);
+  const layout::CapId big = test::couple(fx, "c0_n1", "c1_n1", 0.008);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EXPECT_GT(calc.pulse(fx.netlist->net_by_name("c0_n1"), big, 0.05).peak,
+            calc.pulse(fx.netlist->net_by_name("c0_n0"), small, 0.05).peak);
+}
+
+TEST(AnalyticCalc, SlowerAggressorSmallerPeak) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n0", "c1_n0", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  const net::NetId v = fx.netlist->net_by_name("c0_n0");
+  EXPECT_GT(calc.pulse(v, cap, 0.02).peak, calc.pulse(v, cap, 0.5).peak);
+}
+
+TEST(AnalyticCalc, ZeroedCapGivesZeroPulse) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n0", "c1_n0", 0.006);
+  fx.parasitics.zero_coupling(cap);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EXPECT_DOUBLE_EQ(calc.pulse(fx.netlist->net_by_name("c0_n0"), cap, 0.05).peak, 0.0);
+}
+
+TEST(AnalyticVsSim, PeaksAgreeWithinModelError) {
+  // The closed form and the MNA template should agree on peak within a
+  // factor ~2 across a parameter sweep (they model the same physics at
+  // different fidelity).
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n0", "c1_n0", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator ana(fx.parasitics, b.model);
+  SimCouplingCalculator sim(*fx.netlist, fx.parasitics, b.model);
+  const net::NetId v = fx.netlist->net_by_name("c0_n0");
+  for (double tr : {0.02, 0.05, 0.15, 0.4}) {
+    const double pa = ana.pulse(v, cap, tr).peak;
+    const double ps = sim.pulse(v, cap, tr).peak;
+    ASSERT_GT(ps, 0.0);
+    EXPECT_LT(pa / ps, 2.5) << "tr=" << tr;
+    EXPECT_GT(pa / ps, 0.4) << "tr=" << tr;
+  }
+}
+
+TEST(DelayNoise, HandComputedRectangleEnvelope) {
+  const double vdd = 1.0;
+  const wave::Pwl vic = wave::make_rising_ramp(1.0, 0.2, vdd);
+  // Rectangle of 0.3 V over [0.9, 1.5] (with sharp edges).
+  const wave::Pwl env({{0.9, 0.0}, {0.9001, 0.3}, {1.5, 0.3}, {1.5001, 0.0}});
+  // Ramp reaches 0.8 V (so ramp-0.3 = 0.5) at t = 0.9 + 0.8*0.2 = 1.06.
+  EXPECT_NEAR(delay_noise(vic, env, vdd, 1.0), 0.06, 1e-3);
+}
+
+TEST(DelayNoise, TallEnvelopeDelaysPastItsEnd) {
+  const double vdd = 1.0;
+  const wave::Pwl vic = wave::make_rising_ramp(1.0, 0.2, vdd);
+  // 0.6 V held until 1.5 then linear to 0 at 1.6: vic-env crosses 0.5 when
+  // env = 0.5 on the falling edge -> t = 1.5 + 0.1/6.
+  const wave::Pwl env({{0.8, 0.0}, {0.8001, 0.6}, {1.5, 0.6}, {1.6, 0.0}});
+  EXPECT_NEAR(delay_noise(vic, env, vdd, 1.0), 0.5 + 0.1 / 6.0, 1e-3);
+}
+
+TEST(DelayNoise, EnvelopeBeforeTransitionIsHarmless) {
+  const double vdd = 1.0;
+  const wave::Pwl vic = wave::make_rising_ramp(5.0, 0.2, vdd);
+  const wave::Pwl env({{0.0, 0.0}, {0.1, 0.4}, {1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(delay_noise(vic, env, vdd, 5.0), 0.0);
+}
+
+TEST(DelayNoise, MonotoneInEnvelopeHeight) {
+  const double vdd = 1.2;
+  const wave::Pwl vic = wave::make_rising_ramp(2.0, 0.3, vdd);
+  double prev = -1.0;
+  for (double h : {0.05, 0.15, 0.3, 0.6, 0.9}) {
+    const wave::Pwl env({{1.8, 0.0}, {1.9, h}, {2.6, h}, {3.0, 0.0}});
+    const double dn = delay_noise(vic, env, vdd, 2.0);
+    EXPECT_GE(dn, prev);
+    prev = dn;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(CouplingMaskOps, AllNoneCountSet) {
+  CouplingMask all = CouplingMask::all(5);
+  CouplingMask none = CouplingMask::none(5);
+  EXPECT_EQ(all.count(), 5u);
+  EXPECT_EQ(none.count(), 0u);
+  none.set(2, true);
+  EXPECT_TRUE(none.active(2));
+  EXPECT_EQ(none.count(), 1u);
+  all.set(0, false);
+  EXPECT_EQ(all.count(), 4u);
+}
+
+TEST(EnvelopeBuilderTest, EnvelopeSpansAggressorWindow) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  test::set_arrival(fx, "c1_in", 0.0, 0.4);  // wide aggressor window
+  const layout::CapId cap = test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  const net::NetId v = fx.netlist->net_by_name("c0_n1");
+  const net::NetId a = fx.netlist->net_by_name("c1_n1");
+  const wave::Pwl& env = builder.envelope(v, cap);
+  ASSERT_FALSE(env.empty());
+  const sta::TimingWindow& aw = b.sta.windows[a];
+  EXPECT_GT(aw.width(), 0.3);  // window survived propagation
+  // The envelope peak plateau covers [eat+rise-ish, lat+rise-ish].
+  const wave::PulseShape s = builder.pulse_shape(v, cap);
+  EXPECT_NEAR(env.peak(), s.peak, 1e-9);
+  EXPECT_NEAR(env.value(aw.eat + 0.5 * s.rise), s.peak, s.peak * 0.5);
+  EXPECT_NEAR(env.value(aw.lat), s.peak, s.peak * 0.25);
+}
+
+TEST(EnvelopeBuilderTest, WidenedEnvelopeDominates) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  const net::NetId v = fx.netlist->net_by_name("c0_n1");
+  const wave::Pwl base = builder.envelope(v, cap);
+  const wave::Pwl wide = builder.envelope_widened(v, cap, 0.3);
+  EXPECT_TRUE(wide.encapsulates(base, -10.0, 10.0, 1e-9));
+  EXPECT_GT(wide.integral(), base.integral());
+  // Narrowing never exceeds the base.
+  const wave::Pwl narrow = builder.envelope_widened(v, cap, -10.0);
+  EXPECT_TRUE(base.encapsulates(narrow, -10.0, 10.0, 1e-9));
+}
+
+TEST(EnvelopeBuilderTest, PlateauCoversTrapezoid) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  const net::NetId v = fx.netlist->net_by_name("c0_n1");
+  const net::NetId a = fx.netlist->net_by_name("c1_n1");
+  const sta::TimingWindow& aw = b.sta.windows[a];
+  const wave::Pwl plateau =
+      builder.plateau_envelope(v, cap, aw.eat - 1.0, aw.lat + 5.0);
+  EXPECT_TRUE(plateau.encapsulates(builder.envelope(v, cap), -10.0, 20.0, 1e-9));
+}
+
+TEST(Analyzer, MoreAggressorsMoreNoise) {
+  Fixture fx = test::make_parallel_chains(3, 3);
+  const layout::CapId c1 = test::couple(fx, "c0_n2", "c1_n2", 0.005);
+  const layout::CapId c2 = test::couple(fx, "c0_n2", "c2_n2", 0.005);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  NoiseAnalyzer analyzer(*fx.netlist, fx.parasitics, b.model);
+  const net::NetId v = fx.netlist->net_by_name("c0_n2");
+
+  CouplingMask one = CouplingMask::none(fx.parasitics.num_couplings());
+  one.set(c1, true);
+  CouplingMask two = CouplingMask::all(fx.parasitics.num_couplings());
+  (void)c2;
+  const double dn1 = analyzer.victim_delay_noise(v, builder, one);
+  const double dn2 = analyzer.victim_delay_noise(v, builder, two);
+  EXPECT_GT(dn1, 0.0);
+  EXPECT_GE(dn2, dn1);
+}
+
+TEST(Analyzer, UpperBoundDominatesActual) {
+  Fixture fx = test::make_parallel_chains(3, 4);
+  test::set_arrival(fx, "c1_in", 0.0, 0.2);
+  test::set_arrival(fx, "c2_in", 0.1, 0.3);
+  test::couple(fx, "c0_n3", "c1_n3", 0.006);
+  test::couple(fx, "c0_n3", "c2_n3", 0.004);
+  test::couple(fx, "c0_n2", "c1_n2", 0.005);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  NoiseAnalyzer analyzer(*fx.netlist, fx.parasitics, b.model);
+  const CouplingMask all = CouplingMask::all(fx.parasitics.num_couplings());
+  for (net::NetId v = 0; v < fx.netlist->num_nets(); ++v) {
+    const double dn = analyzer.victim_delay_noise(v, builder, all);
+    const double ub = analyzer.delay_noise_upper_bound(v, builder, all);
+    EXPECT_GE(ub + 1e-9, dn) << "net " << fx.netlist->net(v).name;
+  }
+}
+
+TEST(Analyzer, DominanceIntervalAnchoredAtT50) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  NoiseAnalyzer analyzer(*fx.netlist, fx.parasitics, b.model);
+  const net::NetId v = fx.netlist->net_by_name("c0_n1");
+  const CouplingMask all = CouplingMask::all(fx.parasitics.num_couplings());
+  const wave::DominanceInterval iv = analyzer.dominance_interval(v, builder, all);
+  EXPECT_DOUBLE_EQ(iv.lo, b.sta.windows[v].lat);
+  EXPECT_GT(iv.hi, iv.lo);
+}
+
+TEST(Iterative, NoCouplingsMeansNoNoise) {
+  Fixture fx = test::make_parallel_chains(2, 3);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  IterativeOptions opt;
+  opt.sta = fx.sta_options();
+  const NoiseReport rep = analyze_iterative(
+      *fx.netlist, fx.parasitics, b.model, calc,
+      CouplingMask::all(fx.parasitics.num_couplings()), opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_DOUBLE_EQ(rep.noisy_delay, rep.noiseless_delay);
+}
+
+TEST(Iterative, NoisyDelayAtLeastNoiseless) {
+  Fixture fx = test::make_parallel_chains(3, 4);
+  test::couple(fx, "c0_n3", "c1_n3", 0.006);
+  test::couple(fx, "c0_n2", "c2_n2", 0.005);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  IterativeOptions opt;
+  opt.sta = fx.sta_options();
+  const NoiseReport rep = analyze_iterative(
+      *fx.netlist, fx.parasitics, b.model, calc,
+      CouplingMask::all(fx.parasitics.num_couplings()), opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GT(rep.noisy_delay, rep.noiseless_delay);
+  for (net::NetId n = 0; n < fx.netlist->num_nets(); ++n) {
+    EXPECT_GE(rep.noisy_windows[n].lat + 1e-12, rep.noiseless_windows[n].lat);
+    EXPECT_GE(rep.delay_noise[n], 0.0);
+  }
+}
+
+TEST(Iterative, MaskControlsParticipation) {
+  Fixture fx = test::make_parallel_chains(2, 3);
+  const layout::CapId cap = test::couple(fx, "c0_n2", "c1_n2", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  IterativeOptions opt;
+  opt.sta = fx.sta_options();
+  CouplingMask none = CouplingMask::none(fx.parasitics.num_couplings());
+  const NoiseReport off = analyze_iterative(*fx.netlist, fx.parasitics, b.model,
+                                            calc, none, opt);
+  EXPECT_DOUBLE_EQ(off.noisy_delay, off.noiseless_delay);
+  none.set(cap, true);
+  const NoiseReport on = analyze_iterative(*fx.netlist, fx.parasitics, b.model,
+                                           calc, none, opt);
+  EXPECT_GT(on.noisy_delay, off.noisy_delay);
+}
+
+TEST(Iterative, IndirectAggressorNeedsIterations) {
+  // Figure-1 scenario: a2 couples to a1's net; a1 couples to the victim.
+  // When the victim switches just after a1's noiseless envelope ends, a1
+  // alone is harmless — but a2's noise widens a1's window enough to reach
+  // the victim. Indirect noise appears only through iteration, so there
+  // must exist a victim alignment where the all-aggressor fixpoint beats
+  // the a1-only one. Sweep the victim arrival to find it.
+  bool found = false;
+  for (double arrival = 0.25; arrival <= 0.60 && !found; arrival += 0.004) {
+    Fixture fx = test::make_parallel_chains(3, 2, 0.012, 0.05);
+    // Chain 0 = victim (arrives late), chain 1 = a1, chain 2 = a2 (overlaps
+    // a1's transition so it can widen a1's window).
+    test::set_arrival(fx, "c0_in", arrival, arrival);
+    test::set_arrival(fx, "c1_in", 0.00, 0.02);
+    test::set_arrival(fx, "c2_in", 0.00, 0.10);
+    const layout::CapId a1_v = test::couple(fx, "c0_n1", "c1_n1", 0.02);
+    test::couple(fx, "c1_n1", "c2_n1", 0.02);
+    Bound b(fx);
+    AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+    IterativeOptions opt;
+    opt.sta = fx.sta_options();
+
+    CouplingMask only_a1 = CouplingMask::none(fx.parasitics.num_couplings());
+    only_a1.set(a1_v, true);
+    const NoiseReport rep1 = analyze_iterative(*fx.netlist, fx.parasitics,
+                                               b.model, calc, only_a1, opt);
+    const CouplingMask all = CouplingMask::all(fx.parasitics.num_couplings());
+    const NoiseReport rep2 = analyze_iterative(*fx.netlist, fx.parasitics,
+                                               b.model, calc, all, opt);
+    const double dn1 = rep1.noisy_delay - rep1.noiseless_delay;
+    const double dn2 = rep2.noisy_delay - rep2.noiseless_delay;
+    if (dn2 > dn1 + 5e-5 && dn1 < 1e-4 && rep2.iterations >= 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Iterative, PessimisticStartConvergesToSameFixpoint) {
+  Fixture fx = test::make_parallel_chains(3, 3);
+  test::couple(fx, "c0_n2", "c1_n2", 0.006);
+  test::couple(fx, "c1_n1", "c2_n1", 0.004);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  IterativeOptions opt;
+  opt.sta = fx.sta_options();
+  const CouplingMask all = CouplingMask::all(fx.parasitics.num_couplings());
+  const NoiseReport up = analyze_iterative(*fx.netlist, fx.parasitics, b.model,
+                                           calc, all, opt);
+  opt.pessimistic_start = true;
+  const NoiseReport down = analyze_iterative(*fx.netlist, fx.parasitics,
+                                             b.model, calc, all, opt);
+  EXPECT_TRUE(up.converged);
+  EXPECT_TRUE(down.converged);
+  // The pessimistic fixpoint bounds the optimistic one from above; for this
+  // well-behaved circuit they should coincide closely.
+  EXPECT_GE(down.noisy_delay + 1e-9, up.noisy_delay);
+  EXPECT_NEAR(down.noisy_delay, up.noisy_delay, 0.02);
+}
+
+TEST(Filter, FarWindowAggressorFiltered) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  // Aggressor switches far after the victim (5 ns later): can never hit it.
+  test::set_arrival(fx, "c1_in", 5.0, 5.2);
+  const layout::CapId cap = test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  NoiseAnalyzer analyzer(*fx.netlist, fx.parasitics, b.model);
+  AggressorFilter filter(*fx.netlist, fx.parasitics, analyzer, builder, {});
+  const net::NetId victim = fx.netlist->net_by_name("c0_n1");
+  const net::NetId agg = fx.netlist->net_by_name("c1_n1");
+  EXPECT_TRUE(filter.is_false(victim, cap));
+  // On the reverse side the roles swap: victim c1_n1 switches at 5 ns; the
+  // aggressor (c0_n1, switching at ~0) ends long before -> also false.
+  EXPECT_TRUE(filter.is_false(agg, cap));
+  EXPECT_EQ(filter.num_filtered(), 2u);
+}
+
+TEST(Filter, OverlappingAggressorKept) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId cap = test::couple(fx, "c0_n1", "c1_n1", 0.006);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  NoiseAnalyzer analyzer(*fx.netlist, fx.parasitics, b.model);
+  AggressorFilter filter(*fx.netlist, fx.parasitics, analyzer, builder, {});
+  EXPECT_FALSE(filter.is_false(fx.netlist->net_by_name("c0_n1"), cap));
+}
+
+TEST(Filter, ZeroedAndTinyCapsFiltered) {
+  Fixture fx = test::make_parallel_chains(2, 2);
+  const layout::CapId dead = test::couple(fx, "c0_n0", "c1_n0", 0.005);
+  const layout::CapId tiny = test::couple(fx, "c0_n1", "c1_n1", 1.2e-6);
+  fx.parasitics.zero_coupling(dead);
+  Bound b(fx);
+  AnalyticCouplingCalculator calc(fx.parasitics, b.model);
+  EnvelopeBuilder builder(*fx.netlist, fx.parasitics, calc, b.sta.windows);
+  NoiseAnalyzer analyzer(*fx.netlist, fx.parasitics, b.model);
+  AggressorFilter filter(*fx.netlist, fx.parasitics, analyzer, builder, {});
+  EXPECT_TRUE(filter.is_false(fx.netlist->net_by_name("c0_n0"), dead));
+  EXPECT_TRUE(filter.is_false(fx.netlist->net_by_name("c0_n1"), tiny));
+}
+
+}  // namespace
+}  // namespace tka::noise

@@ -1,0 +1,124 @@
+// Reconstruction of the paper's worked example (Figures 6, 7 and 8):
+// the dominance partial order over hand-shaped envelopes, the resulting
+// irredundant lists, and the higher-cardinality growth pattern.
+#include <gtest/gtest.h>
+
+#include "topk/irredundant_list.hpp"
+#include "topk/pseudo_aggressor.hpp"
+#include "wave/envelope.hpp"
+
+namespace tka::topk {
+namespace {
+
+// A trapezoid envelope: rise at t0, plateau [t0+0.1, t1], fall by t1+0.2.
+wave::Pwl trap(double t0, double t1, double peak) {
+  return wave::Pwl({{t0, 0.0}, {t0 + 0.1, peak}, {t1, peak}, {t1 + 0.2, 0.0}});
+}
+
+const wave::DominanceInterval kIv{0.0, 10.0};
+
+// Figure 6: envelope D encloses C; A and B are mutually non-dominated.
+TEST(PaperFigure6, DominanceClassification) {
+  const wave::Pwl d = trap(1.0, 5.0, 0.5);
+  const wave::Pwl c = trap(1.5, 4.0, 0.3);
+  const wave::Pwl a = trap(0.5, 2.0, 0.4);  // early, mid peak
+  const wave::Pwl b = trap(2.5, 6.0, 0.25); // late, low peak
+  EXPECT_TRUE(wave::dominates(d, c, kIv));
+  EXPECT_FALSE(wave::dominates(c, d, kIv));
+  EXPECT_EQ(wave::compare(a, b, kIv), wave::DomOrder::kIncomparable);
+}
+
+// Figure 7's partial order at victim v1: a1 dominates a2, a3, a4.
+struct Fig7 {
+  // Victim v1's aggressors: a1 encloses all others.
+  wave::Pwl a1 = trap(1.0, 6.0, 0.5);
+  wave::Pwl a2 = trap(1.5, 4.0, 0.35);
+  wave::Pwl a3 = trap(2.0, 5.0, 0.3);
+  wave::Pwl a4 = trap(2.5, 5.5, 0.2);
+
+  CandidateSet set(std::vector<layout::CapId> members, const wave::Pwl& env,
+                   double score) const {
+    CandidateSet s;
+    s.members = std::move(members);
+    s.envelope = env;
+    s.score = score;
+    return s;
+  }
+};
+
+TEST(PaperFigure7, IrredundantList1KeepsOnlyA1) {
+  Fig7 f;
+  IList list;
+  list.try_add(f.set({1}, f.a1, 0.40));
+  list.try_add(f.set({2}, f.a2, 0.25));
+  list.try_add(f.set({3}, f.a3, 0.20));
+  list.try_add(f.set({4}, f.a4, 0.10));
+  PruneStats stats;
+  // No victim-cap seeds here: pure Figure-7 pruning.
+  list.reduce(kIv, 1e-9, 0, true, &stats);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.best().members, (std::vector<layout::CapId>{1}));
+  EXPECT_EQ(stats.removed_dominated, 3u);
+}
+
+TEST(PaperFigure7, ExtensionSeedsKeepPartnersWhenRequested) {
+  // With the victim's caps supplied, each cap keeps an extension partner:
+  // the best set NOT containing it — so pruning can never orphan a future
+  // union (the soundness refinement documented in DESIGN.md).
+  Fig7 f;
+  IList list;
+  list.try_add(f.set({1}, f.a1, 0.40));
+  list.try_add(f.set({2}, f.a2, 0.25));
+  const layout::CapId caps[] = {1, 2};
+  list.reduce(kIv, 1e-9, 0, true, nullptr, caps);
+  // {2} is dominated by {1}, but it is cap 1's best partner, so it stays.
+  EXPECT_EQ(list.size(), 2u);
+}
+
+// Figure 8's growth: I-list_2 at v1 = extensions of (a1) with the other
+// primaries, i.e. (a1,a2), (a1,a3), (a1,a4) — and any set without a1 is
+// dominated by the same set with a weaker member replaced by a1.
+TEST(PaperFigure8, CardinalityTwoGrowth) {
+  Fig7 f;
+  IList list2;
+  auto combined = [&](const wave::Pwl& x, const wave::Pwl& y) {
+    return x.plus(y);
+  };
+  list2.try_add(f.set({1, 2}, combined(f.a1, f.a2), 0.55));
+  list2.try_add(f.set({1, 3}, combined(f.a1, f.a3), 0.50));
+  list2.try_add(f.set({1, 4}, combined(f.a1, f.a4), 0.45));
+  list2.try_add(f.set({2, 4}, combined(f.a2, f.a4), 0.30));  // Fig 8's example prune
+  list2.try_add(f.set({3, 4}, combined(f.a3, f.a4), 0.28));
+  list2.reduce(kIv, 1e-9, 0, true, nullptr);
+  // (a2,a4) is dominated by (a1,a4) [a1 encloses a2], (a3,a4) by (a1,a4).
+  EXPECT_EQ(list2.size(), 3u);
+  for (const CandidateSet& s : list2.sets()) {
+    EXPECT_TRUE(std::binary_search(s.members.begin(), s.members.end(), 1u))
+        << "every surviving pair contains a1";
+  }
+}
+
+// Figure 8, v2 side: a pseudo input aggressor from v1 joins v2's own
+// primaries; the order-2 aggressor b12 (b1 with a widened window) dominates
+// its order-1 counterpart.
+TEST(PaperFigure8, HigherOrderAggressorDominatesBase) {
+  // b1 at its base window vs b1 with the window widened by delay noise.
+  const wave::Pwl b1 = trap(2.0, 4.0, 0.45);
+  const wave::Pwl b12 = trap(2.0, 4.8, 0.45);  // same height, wider plateau
+  EXPECT_TRUE(wave::dominates(b12, b1, kIv));
+  EXPECT_FALSE(wave::dominates(b1, b12, kIv));
+}
+
+// Theorem 1 at the set level: P dominating Q implies P u {a} produces at
+// least the delay noise of Q u {a} for every common extension a.
+TEST(PaperTheorem1, ExtensionPreservesDominance) {
+  Fig7 f;
+  const wave::Pwl extension = trap(3.0, 7.0, 0.3);
+  const wave::Pwl p_ext = f.a1.plus(extension);
+  const wave::Pwl q_ext = f.a2.plus(extension);
+  EXPECT_TRUE(wave::dominates(f.a1, f.a2, kIv));
+  EXPECT_TRUE(wave::dominates(p_ext, q_ext, kIv));
+}
+
+}  // namespace
+}  // namespace tka::topk

@@ -1,0 +1,120 @@
+// Tests for k-worst path enumeration, validated against exhaustive path
+// enumeration on small circuits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "layout/parasitics.hpp"
+#include "net/builder.hpp"
+#include "sta/path_enum.hpp"
+
+namespace tka::sta {
+namespace {
+
+struct PathSetup {
+  std::unique_ptr<net::Netlist> nl;
+  layout::Parasitics par{0};
+  std::unique_ptr<DelayModel> model;
+  StaResult sta;
+
+  explicit PathSetup(std::unique_ptr<net::Netlist> netlist,
+                 const StaOptions& opt = {})
+      : nl(std::move(netlist)), par(nl->num_nets()) {
+    for (net::NetId n = 0; n < nl->num_nets(); ++n) par.add_ground_cap(n, 0.01);
+    model = std::make_unique<DelayModel>(*nl, par);
+    sta = run_sta(*nl, *model, opt);
+  }
+};
+
+// Exhaustive PI-to-PO path enumeration by DFS.
+std::vector<TimingPath> all_paths(const net::Netlist& nl, const StaResult& sta) {
+  std::vector<TimingPath> out;
+  std::vector<net::NetId> stack;
+  std::function<void(net::NetId, double)> walk = [&](net::NetId id,
+                                                     double suffix_delay) {
+    stack.push_back(id);
+    const net::Net& n = nl.net(id);
+    if (n.driver == net::kInvalidGate) {
+      TimingPath p;
+      p.nets.assign(stack.rbegin(), stack.rend());
+      p.arrival = sta.windows[id].lat + suffix_delay;
+      out.push_back(std::move(p));
+    } else {
+      const double d = sta.gate_delay[n.driver];
+      for (net::NetId in : nl.gate(n.driver).inputs) walk(in, suffix_delay + d);
+    }
+    stack.pop_back();
+  };
+  for (net::NetId po : nl.primary_outputs()) walk(po, 0.0);
+  std::sort(out.begin(), out.end(), [](const TimingPath& a, const TimingPath& b) {
+    return a.arrival > b.arrival;
+  });
+  return out;
+}
+
+TEST(PathEnum, C17MatchesExhaustive) {
+  PathSetup s(net::make_c17());
+  const std::vector<TimingPath> exhaustive = all_paths(*s.nl, s.sta);
+  const std::vector<TimingPath> enumerated =
+      k_worst_paths(*s.nl, s.sta, exhaustive.size() + 5);
+  ASSERT_EQ(enumerated.size(), exhaustive.size());
+  for (size_t i = 0; i < exhaustive.size(); ++i) {
+    EXPECT_NEAR(enumerated[i].arrival, exhaustive[i].arrival, 1e-12) << i;
+  }
+}
+
+TEST(PathEnum, ArrivalsNonIncreasing) {
+  PathSetup s(net::make_nand_tree(3));
+  const auto paths = k_worst_paths(*s.nl, s.sta, 12);
+  ASSERT_GE(paths.size(), 2u);
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i].arrival, paths[i - 1].arrival + 1e-12);
+  }
+}
+
+TEST(PathEnum, FirstPathIsTheCriticalPath) {
+  StaOptions opt;
+  opt.input_arrival = [](net::NetId n) {
+    InputArrival a;
+    if (n == 2) a.lat = 0.4;  // make one input clearly critical
+    return a;
+  };
+  PathSetup s(net::make_c17(), opt);
+  const auto paths = k_worst_paths(*s.nl, s.sta, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  const TimingPath crit = critical_path(*s.nl, s.sta);
+  EXPECT_EQ(paths[0].nets, crit.nets);
+  EXPECT_NEAR(paths[0].arrival, crit.arrival, 1e-12);
+}
+
+TEST(PathEnum, CountLimitsOutput) {
+  PathSetup s(net::make_c17());
+  EXPECT_EQ(k_worst_paths(*s.nl, s.sta, 3).size(), 3u);
+  EXPECT_EQ(k_worst_paths(*s.nl, s.sta, 0).size(), 0u);
+}
+
+TEST(PathEnum, PathsAreStructurallyValid) {
+  PathSetup s(net::make_c17());
+  for (const TimingPath& p : k_worst_paths(*s.nl, s.sta, 8)) {
+    ASSERT_GE(p.nets.size(), 2u);
+    EXPECT_TRUE(s.nl->net(p.nets.front()).is_primary_input);
+    EXPECT_TRUE(s.nl->net(p.nets.back()).is_primary_output);
+    for (size_t i = 1; i < p.nets.size(); ++i) {
+      const net::Net& out = s.nl->net(p.nets[i]);
+      ASSERT_NE(out.driver, net::kInvalidGate);
+      const auto& ins = s.nl->gate(out.driver).inputs;
+      EXPECT_NE(std::find(ins.begin(), ins.end(), p.nets[i - 1]), ins.end());
+    }
+  }
+}
+
+TEST(PathEnum, ChainHasExactlyOnePath) {
+  PathSetup s(net::make_chain(6));
+  const auto paths = k_worst_paths(*s.nl, s.sta, 10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].nets.size(), 7u);
+}
+
+}  // namespace
+}  // namespace tka::sta

@@ -1,0 +1,103 @@
+// Tests for the JSON/CSV result exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fixtures.hpp"
+#include "io/report_writer.hpp"
+#include "noise/coupling_calc.hpp"
+
+namespace tka::io {
+namespace {
+
+using test::Fixture;
+
+struct ReportHarness {
+  Fixture fx;
+  sta::DelayModel model;
+  noise::AnalyticCouplingCalculator calc;
+  noise::NoiseReport report;
+
+  ReportHarness()
+      : fx([] {
+          Fixture f = test::make_parallel_chains(2, 2);
+          test::couple(f, "c0_n1", "c1_n1", 0.008);
+          return f;
+        }()),
+        model(*fx.netlist, fx.parasitics),
+        calc(fx.parasitics, model),
+        report(noise::analyze_iterative(
+            *fx.netlist, fx.parasitics, model, calc,
+            noise::CouplingMask::all(fx.parasitics.num_couplings()),
+            [this] {
+              noise::IterativeOptions it;
+              it.sta = fx.sta_options();
+              return it;
+            }())) {}
+};
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(NoiseReportJson, ContainsDelaysAndNoisyNets) {
+  ReportHarness h;
+  std::ostringstream os;
+  write_noise_report_json(os, *h.fx.netlist, h.report);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"design\": \"chains\""), std::string::npos);
+  EXPECT_NE(json.find("\"noiseless_delay_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"converged\": true"), std::string::npos);
+  // The coupled net shows up with its delay noise.
+  EXPECT_NE(json.find("\"name\": \"c0_n1\""), std::string::npos);
+  // Quiet nets are omitted by default...
+  EXPECT_EQ(json.find("\"name\": \"c0_in\""), std::string::npos);
+  // ...and included when asked.
+  std::ostringstream os2;
+  write_noise_report_json(os2, *h.fx.netlist, h.report, true);
+  EXPECT_NE(os2.str().find("\"name\": \"c0_in\""), std::string::npos);
+}
+
+TEST(TopkJson, RoundTripsSetMembers) {
+  ReportHarness h;
+  topk::TopkEngine engine(*h.fx.netlist, h.fx.parasitics, h.model, h.calc);
+  topk::TopkOptions opt;
+  opt.k = 1;
+  opt.iterative.sta = h.fx.sta_options();
+  const topk::TopkResult res = engine.run(opt);
+
+  std::ostringstream os;
+  write_topk_result_json(os, *h.fx.netlist, h.fx.parasitics, res, 1);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"mode\": \"addition\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"net_a\": \"c0_n1\""), std::string::npos);
+  EXPECT_NE(json.find("\"delay_by_k\": ["), std::string::npos);
+}
+
+TEST(TopkCsv, OneRowPerCardinality) {
+  ReportHarness h;
+  topk::TopkEngine engine(*h.fx.netlist, h.fx.parasitics, h.model, h.calc);
+  topk::TopkOptions opt;
+  opt.k = 3;
+  opt.iterative.sta = h.fx.sta_options();
+  const topk::TopkResult res = engine.run(opt);
+
+  std::ostringstream os;
+  write_topk_trail_csv(os, res);
+  const std::string csv = os.str();
+  // Header + 3 rows.
+  size_t lines = 0;
+  for (char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, 4u);
+  EXPECT_EQ(csv.rfind("k,estimated_delay_ns,runtime_s", 0), 0u);
+  EXPECT_NE(csv.find("\n1,"), std::string::npos);
+  EXPECT_NE(csv.find("\n3,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tka::io

@@ -1,0 +1,194 @@
+// Tests for the linear delay model and static timing analysis: load and
+// delay computation, window propagation, LAT bumps, critical paths, slacks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "layout/parasitics.hpp"
+#include "net/builder.hpp"
+#include "sta/analyzer.hpp"
+#include "sta/critical_path.hpp"
+#include "sta/delay_model.hpp"
+
+namespace tka::sta {
+namespace {
+
+layout::Parasitics flat_parasitics(const net::Netlist& nl, double gcap = 0.01,
+                                   double res = 0.1) {
+  layout::Parasitics par(nl.num_nets());
+  for (net::NetId n = 0; n < nl.num_nets(); ++n) {
+    par.add_ground_cap(n, gcap);
+    par.add_wire_res(n, res);
+  }
+  return par;
+}
+
+TEST(DelayModel, LoadSumsComponents) {
+  auto nl = net::make_c17();
+  layout::Parasitics par = flat_parasitics(*nl);
+  const layout::CapId cc = par.add_coupling(nl->net_by_name("N10"),
+                                            nl->net_by_name("N11"), 0.005);
+  (void)cc;
+  DelayModel model(*nl, par);
+  const net::NetId n10 = nl->net_by_name("N10");
+  // gcap + coupling + 2 fanin caps... N10 fans out to G22 only (1 pin) plus
+  // driver self-load.
+  const net::CellType& nand2 = nl->library().cell(nl->library().index_of("NAND2X1"));
+  const double expected = 0.01 + 0.005 + nand2.input_cap_pf + nand2.output_cap_pf;
+  EXPECT_NEAR(model.net_load_pf(n10), expected, 1e-12);
+}
+
+TEST(DelayModel, MillerFactorScalesCoupling) {
+  auto nl = net::make_c17();
+  layout::Parasitics par = flat_parasitics(*nl);
+  par.add_coupling(nl->net_by_name("N10"), nl->net_by_name("N11"), 0.005);
+  DelayModelOptions opt;
+  opt.miller_factor = 2.0;
+  DelayModel doubled(*nl, par, opt);
+  DelayModel plain(*nl, par);
+  const net::NetId n10 = nl->net_by_name("N10");
+  EXPECT_NEAR(doubled.net_load_pf(n10) - plain.net_load_pf(n10), 0.005, 1e-12);
+}
+
+TEST(DelayModel, DelayIncreasesWithLoad) {
+  auto nl = net::make_chain(2);
+  layout::Parasitics light = flat_parasitics(*nl, 0.005);
+  layout::Parasitics heavy = flat_parasitics(*nl, 0.05);
+  DelayModel ml(*nl, light);
+  DelayModel mh(*nl, heavy);
+  EXPECT_GT(mh.gate_delay_ns(0), ml.gate_delay_ns(0));
+  EXPECT_GT(mh.gate_trans_ns(0), ml.gate_trans_ns(0));
+}
+
+TEST(DelayModel, TransitionFloored) {
+  auto nl = net::make_chain(1);
+  layout::Parasitics par(nl->num_nets());  // zero parasitics
+  DelayModel model(*nl, par);
+  EXPECT_GE(model.gate_trans_ns(0), model.options().min_trans_ns);
+  EXPECT_GE(model.pi_trans_ns(nl->primary_inputs().front()),
+            model.options().min_trans_ns);
+}
+
+TEST(Sta, ChainArrivalAccumulates) {
+  auto nl = net::make_chain(5);
+  layout::Parasitics par = flat_parasitics(*nl);
+  DelayModel model(*nl, par);
+  const StaResult res = run_sta(*nl, model);
+  double expected = 0.0;
+  net::NetId cur = nl->primary_inputs().front();
+  EXPECT_DOUBLE_EQ(res.windows[cur].lat, 0.0);
+  for (int g = 0; g < 5; ++g) {
+    expected += res.gate_delay[static_cast<net::GateId>(g)];
+  }
+  EXPECT_NEAR(res.max_lat, expected, 1e-12);
+  EXPECT_EQ(res.worst_po, nl->primary_outputs().front());
+}
+
+TEST(Sta, WindowsFromInputArrivals) {
+  auto nl = net::make_c17();
+  layout::Parasitics par = flat_parasitics(*nl);
+  DelayModel model(*nl, par);
+  StaOptions opt;
+  opt.input_arrival = [&nl](net::NetId n) {
+    InputArrival a;
+    if (n == nl->net_by_name("N1")) {
+      a.eat = 0.1;
+      a.lat = 0.3;
+    }
+    return a;
+  };
+  const StaResult res = run_sta(*nl, model, opt);
+  const TimingWindow& w1 = res.windows[nl->net_by_name("N1")];
+  EXPECT_DOUBLE_EQ(w1.eat, 0.1);
+  EXPECT_DOUBLE_EQ(w1.lat, 0.3);
+  // N10 = NAND(N1, N3): eat from N3 (0), lat from N1 (0.3).
+  const TimingWindow& w10 = res.windows[nl->net_by_name("N10")];
+  const double d = res.gate_delay[nl->net(nl->net_by_name("N10")).driver];
+  EXPECT_NEAR(w10.eat, 0.0 + d, 1e-12);
+  EXPECT_NEAR(w10.lat, 0.3 + d, 1e-12);
+  EXPECT_GT(w10.width(), 0.0);
+}
+
+TEST(Sta, LatBumpPropagatesDownstream) {
+  auto nl = net::make_chain(4);
+  layout::Parasitics par = flat_parasitics(*nl);
+  DelayModel model(*nl, par);
+  const StaResult base = run_sta(*nl, model);
+
+  std::vector<double> bump(nl->num_nets(), 0.0);
+  const net::NetId mid = nl->net_by_name("n1");
+  bump[mid] = 0.25;
+  const StaResult bumped = run_sta(*nl, model, {}, &bump);
+  EXPECT_NEAR(bumped.windows[mid].lat, base.windows[mid].lat + 0.25, 1e-12);
+  EXPECT_NEAR(bumped.max_lat, base.max_lat + 0.25, 1e-12);
+  // EATs are untouched.
+  for (net::NetId n = 0; n < nl->num_nets(); ++n) {
+    EXPECT_DOUBLE_EQ(bumped.windows[n].eat, base.windows[n].eat);
+  }
+}
+
+TEST(Sta, WindowOverlapPredicate) {
+  TimingWindow a{0.0, 1.0, 0.1, 0.1};
+  TimingWindow b{0.5, 2.0, 0.1, 0.1};
+  TimingWindow c{1.5, 2.0, 0.1, 0.1};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(CriticalPath, BacktracksWorstPath) {
+  auto nl = net::make_c17();
+  layout::Parasitics par = flat_parasitics(*nl);
+  DelayModel model(*nl, par);
+  StaOptions opt;
+  opt.input_arrival = [&nl](net::NetId n) {
+    InputArrival a;
+    if (n == nl->net_by_name("N3")) a.lat = 0.5;  // make N3 clearly critical
+    return a;
+  };
+  const StaResult res = run_sta(*nl, model, opt);
+  const TimingPath path = critical_path(*nl, res);
+  ASSERT_GE(path.nets.size(), 2u);
+  EXPECT_EQ(path.nets.front(), nl->net_by_name("N3"));
+  EXPECT_EQ(path.nets.back(), res.worst_po);
+  EXPECT_NEAR(path.arrival, res.max_lat, 1e-12);
+  // Consecutive nets connected through gates.
+  for (size_t i = 1; i < path.nets.size(); ++i) {
+    const net::Net& out = nl->net(path.nets[i]);
+    ASSERT_NE(out.driver, net::kInvalidGate);
+    const auto& ins = nl->gate(out.driver).inputs;
+    EXPECT_NE(std::find(ins.begin(), ins.end(), path.nets[i - 1]), ins.end());
+  }
+}
+
+TEST(CriticalPath, SlacksNonNegativeAndZeroOnCriticalPath) {
+  auto nl = net::make_c17();
+  layout::Parasitics par = flat_parasitics(*nl);
+  DelayModel model(*nl, par);
+  const StaResult res = run_sta(*nl, model);
+  const std::vector<double> slack = net_slacks(*nl, res);
+  const TimingPath path = critical_path(*nl, res);
+  for (net::NetId n : path.nets) EXPECT_NEAR(slack[n], 0.0, 1e-9);
+  for (net::NetId n = 0; n < nl->num_nets(); ++n) {
+    if (std::isfinite(slack[n])) {
+      EXPECT_GE(slack[n], -1e-9);
+    }
+  }
+}
+
+TEST(CriticalPath, NearCriticalSetGrowsWithThreshold) {
+  auto nl = net::make_c17();
+  layout::Parasitics par = flat_parasitics(*nl);
+  DelayModel model(*nl, par);
+  const StaResult res = run_sta(*nl, model);
+  const auto tight = near_critical_nets(*nl, res, 0.0);
+  const auto loose = near_critical_nets(*nl, res, 10.0);
+  EXPECT_GE(loose.size(), tight.size());
+  EXPECT_EQ(loose.size(), nl->num_nets());  // every net within 10ns slack
+  EXPECT_FALSE(tight.empty());
+}
+
+}  // namespace
+}  // namespace tka::sta

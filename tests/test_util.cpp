@@ -1,0 +1,137 @@
+// Unit tests for the util module: RNG determinism/distribution, string
+// helpers, logging levels, assertion/check behavior.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace tka {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) seen[rng.next_below(8)]++;
+  for (int count : seen) EXPECT_GT(count, 300);  // roughly uniform
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(StringUtil, TrimRemovesBothEnds) {
+  EXPECT_EQ(str::trim("  hello \t\n"), "hello");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim("   "), "");
+  EXPECT_EQ(str::trim("x"), "x");
+}
+
+TEST(StringUtil, SplitDropsEmptyTokens) {
+  const auto tok = str::split("a, b,,c", ", ");
+  ASSERT_EQ(tok.size(), 3u);
+  EXPECT_EQ(tok[0], "a");
+  EXPECT_EQ(tok[1], "b");
+  EXPECT_EQ(tok[2], "c");
+}
+
+TEST(StringUtil, SplitEmptyInput) {
+  EXPECT_TRUE(str::split("", ",").empty());
+  EXPECT_TRUE(str::split(",,,", ",").empty());
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(str::starts_with("*NET foo", "*NET"));
+  EXPECT_FALSE(str::starts_with("NET", "*NET"));
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(str::to_lower("NaNd2"), "nand2");
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(str::format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str::format("%.2f", 1.005), "1.00");
+}
+
+TEST(ErrorAndCheck, TkaCheckThrows) {
+  EXPECT_THROW(TKA_CHECK(false, "boom"), Error);
+  EXPECT_NO_THROW(TKA_CHECK(true, "fine"));
+  try {
+    TKA_CHECK(false, "specific message");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Logging, LevelGate) {
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  log::info() << "should be suppressed";
+  log::set_level(log::Level::kWarn);  // restore default
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace tka

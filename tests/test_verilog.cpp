@@ -1,0 +1,133 @@
+// Tests for the structural-Verilog reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/verilog_lite.hpp"
+#include "net/builder.hpp"
+#include "net/topo.hpp"
+#include "util/error.hpp"
+
+namespace tka::io {
+namespace {
+
+TEST(Verilog, WriteThenReadRoundTripsC17) {
+  auto original = net::make_c17();
+  std::ostringstream os;
+  write_verilog(os, *original);
+  auto back = read_verilog_string(os.str());
+  back->validate();
+  EXPECT_EQ(back->name(), original->name());
+  EXPECT_EQ(back->num_gates(), original->num_gates());
+  EXPECT_EQ(back->num_nets(), original->num_nets());
+  EXPECT_EQ(back->primary_inputs().size(), original->primary_inputs().size());
+  EXPECT_EQ(back->primary_outputs().size(), original->primary_outputs().size());
+  // Same structure: identical level profile.
+  EXPECT_EQ(net::net_levels(*back), net::net_levels(*original));
+}
+
+TEST(Verilog, ParsesHandWrittenModule) {
+  auto nl = read_verilog_string(R"(
+// a comment
+module half (a, b, s, c);
+  input a, b;
+  output s, c;
+  XOR2X1 gx (.A(a), .B(b), .Y(s));
+  AND2X1 ga (.A(a), .B(b), .Y(c));
+endmodule
+)");
+  nl->validate();
+  EXPECT_EQ(nl->name(), "half");
+  EXPECT_EQ(nl->num_gates(), 2u);
+  EXPECT_EQ(nl->primary_outputs().size(), 2u);
+}
+
+TEST(Verilog, OutOfOrderInstances) {
+  auto nl = read_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  wire w;
+  INVX1 g1 (.A(w), .Y(y));
+  INVX1 g0 (.A(a), .Y(w));
+endmodule
+)");
+  nl->validate();
+  EXPECT_EQ(nl->num_gates(), 2u);
+}
+
+TEST(Verilog, MultilineInstanceStatement) {
+  auto nl = read_verilog_string(
+      "module m (a, b, y);\n  input a, b;\n  output y;\n"
+      "  NAND2X1 g0 (\n    .A(a),\n    .B(b),\n    .Y(y)\n  );\nendmodule\n");
+  EXPECT_EQ(nl->num_gates(), 1u);
+}
+
+TEST(Verilog, UnknownCellIsError) {
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  MAGICX9 g (.A(a), .Y(y));
+endmodule
+)"),
+               Error);
+}
+
+TEST(Verilog, MissingPinIsError) {
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, b, y);
+  input a, b;
+  output y;
+  NAND2X1 g (.A(a), .Y(y));
+endmodule
+)"),
+               Error);
+}
+
+TEST(Verilog, DoubleDriverIsError) {
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  INVX1 g0 (.A(a), .Y(y));
+  INVX1 g1 (.A(a), .Y(y));
+endmodule
+)"),
+               Error);
+}
+
+TEST(Verilog, UndrivenOutputIsError) {
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  wire w;
+  INVX1 g0 (.A(a), .Y(w));
+endmodule
+)"),
+               Error);
+}
+
+TEST(Verilog, CombinationalCycleIsError) {
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  wire w1, w2;
+  NAND2X1 g0 (.A(a), .B(w2), .Y(w1));
+  INVX1 g1 (.A(w1), .Y(w2));
+  INVX1 g2 (.A(w1), .Y(y));
+endmodule
+)"),
+               Error);
+}
+
+TEST(Verilog, PinNames) {
+  EXPECT_EQ(input_pin_name(0), "A");
+  EXPECT_EQ(input_pin_name(3), "D");
+  EXPECT_THROW(input_pin_name(4), Error);
+}
+
+}  // namespace
+}  // namespace tka::io

@@ -1,0 +1,98 @@
+// Tests for noise-violation checking against a clock constraint.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "noise/coupling_calc.hpp"
+#include "noise/violations.hpp"
+
+namespace tka::noise {
+namespace {
+
+using test::Fixture;
+
+NoiseReport run_report(const Fixture& fx, const sta::DelayModel& model,
+                       const AnalyticCouplingCalculator& calc) {
+  IterativeOptions it;
+  it.sta = fx.sta_options();
+  return analyze_iterative(*fx.netlist, fx.parasitics, model, calc,
+                           CouplingMask::all(fx.parasitics.num_couplings()), it);
+}
+
+TEST(Violations, CleanDesignHasNoViolations) {
+  Fixture fx = test::make_parallel_chains(2, 3);
+  test::couple(fx, "c0_n2", "c1_n2", 0.006);
+  sta::DelayModel model(*fx.netlist, fx.parasitics);
+  AnalyticCouplingCalculator calc(fx.parasitics, model);
+  const NoiseReport rep = run_report(fx, model, calc);
+  const ConstraintReport cr =
+      check_constraints(*fx.netlist, rep, rep.noisy_delay * 2.0);
+  EXPECT_TRUE(cr.violations.empty());
+  EXPECT_GT(cr.worst_slack_ns, 0.0);
+  EXPECT_DOUBLE_EQ(cr.total_negative_slack_ns, 0.0);
+}
+
+TEST(Violations, NoiseInducedViolationDetected) {
+  Fixture fx = test::make_parallel_chains(2, 3);
+  test::couple(fx, "c0_n2", "c1_n2", 0.008);
+  test::couple(fx, "c0_n1", "c1_n1", 0.008);
+  sta::DelayModel model(*fx.netlist, fx.parasitics);
+  AnalyticCouplingCalculator calc(fx.parasitics, model);
+  const NoiseReport rep = run_report(fx, model, calc);
+  ASSERT_GT(rep.noisy_delay, rep.noiseless_delay);
+
+  // A period between the two delays: passes noiseless, fails noisy.
+  const double period = 0.5 * (rep.noiseless_delay + rep.noisy_delay);
+  const ConstraintReport cr = check_constraints(*fx.netlist, rep, period);
+  ASSERT_FALSE(cr.violations.empty());
+  EXPECT_LT(cr.worst_slack_ns, 0.0);
+  EXPECT_LT(cr.total_negative_slack_ns, 0.0);
+  // Violations sorted worst-first.
+  for (size_t i = 1; i < cr.violations.size(); ++i) {
+    EXPECT_LE(cr.violations[i - 1].slack_ns, cr.violations[i].slack_ns);
+  }
+  // Each violation is consistent: arrival - period == slack.
+  for (const Violation& v : cr.violations) {
+    EXPECT_NEAR(v.arrival_ns - period, -v.slack_ns, 1e-12);
+    EXPECT_TRUE(fx.netlist->net(v.endpoint).is_primary_output);
+  }
+}
+
+TEST(Violations, StressPeriodSeparatesNoisyFromNoiseless) {
+  Fixture fx = test::make_parallel_chains(2, 3);
+  test::couple(fx, "c0_n2", "c1_n2", 0.010);
+  sta::DelayModel model(*fx.netlist, fx.parasitics);
+  AnalyticCouplingCalculator calc(fx.parasitics, model);
+  const NoiseReport rep = run_report(fx, model, calc);
+  ASSERT_GT(rep.noisy_delay, rep.noiseless_delay + 1e-4);
+  const double period = suggest_stress_period(rep);
+  EXPECT_GT(period, rep.noiseless_delay);
+  EXPECT_LT(period, rep.noisy_delay);
+  const ConstraintReport cr = check_constraints(*fx.netlist, rep, period);
+  EXPECT_FALSE(cr.violations.empty());
+}
+
+TEST(Violations, FixingTopKClearsViolations) {
+  // End-to-end: find violations, fix the top-k set, count again.
+  Fixture fx = test::make_parallel_chains(3, 3);
+  test::couple(fx, "c0_n2", "c1_n2", 0.010);
+  test::couple(fx, "c0_n1", "c2_n1", 0.008);
+  sta::DelayModel model(*fx.netlist, fx.parasitics);
+  AnalyticCouplingCalculator calc(fx.parasitics, model);
+  const NoiseReport before = run_report(fx, model, calc);
+  const double period = suggest_stress_period(before);
+  const size_t violations_before =
+      check_constraints(*fx.netlist, before, period).violations.size();
+  ASSERT_GT(violations_before, 0u);
+
+  // Fix both couplings (k = total here) and re-check.
+  fx.parasitics.zero_coupling(0);
+  fx.parasitics.zero_coupling(1);
+  const NoiseReport after = run_report(fx, model, calc);
+  const size_t violations_after =
+      check_constraints(*fx.netlist, after, period).violations.size();
+  EXPECT_LT(violations_after, violations_before);
+  EXPECT_EQ(violations_after, 0u);
+}
+
+}  // namespace
+}  // namespace tka::noise

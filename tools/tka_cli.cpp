@@ -1,0 +1,246 @@
+// tka — command-line front end for the library.
+//
+//   tka analyze  <netlist> [--spef F] [--clock T] noise-aware timing report
+//                                                 (+ violations vs clock T)
+//   tka topk     <netlist> [--spef F] [-k N] [--mode add|elim]
+//                [--out F.json|F.csv]             top-k aggressor set
+//   tka glitch   <netlist> [--spef F]            functional-noise report
+//   tka paths    <netlist> [--spef F] [-n N]     worst timing paths
+//   tka convert  <netlist> --out F.v|F.bench|F.dot
+//
+// <netlist> is a .bench or .v file (by extension). Without --spef,
+// parasitics are synthesized with the built-in placer/router/extractor.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/bench_reader.hpp"
+#include "io/dot_writer.hpp"
+#include "io/report_writer.hpp"
+#include "io/spef_lite.hpp"
+#include "io/verilog_lite.hpp"
+#include "layout/extractor.hpp"
+#include "layout/placer.hpp"
+#include "layout/router.hpp"
+#include "noise/coupling_calc.hpp"
+#include "noise/envelope_builder.hpp"
+#include "noise/glitch.hpp"
+#include "noise/iterative.hpp"
+#include "noise/violations.hpp"
+#include "sta/path_enum.hpp"
+#include "topk/topk_engine.hpp"
+#include "util/error.hpp"
+
+using namespace tka;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string netlist_path;
+  std::string spef_path;
+  std::string out_path;
+  int k = 10;
+  int num_paths = 5;
+  double clock_ns = 0.0;  // 0 = unconstrained
+  topk::Mode mode = topk::Mode::kElimination;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: tka <analyze|topk|glitch|paths|convert> <netlist> "
+               "[--spef F] [--clock T] [-k N] [--mode add|elim] [-n N] "
+               "[--out F]\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 3) usage();
+  args.command = argv[1];
+  args.netlist_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--spef") {
+      args.spef_path = next();
+    } else if (a == "-k") {
+      args.k = std::atoi(next().c_str());
+    } else if (a == "-n") {
+      args.num_paths = std::atoi(next().c_str());
+    } else if (a == "--out") {
+      args.out_path = next();
+    } else if (a == "--clock") {
+      args.clock_ns = std::atof(next().c_str());
+    } else if (a == "--mode") {
+      const std::string m = next();
+      if (m == "add") {
+        args.mode = topk::Mode::kAddition;
+      } else if (m == "elim") {
+        args.mode = topk::Mode::kElimination;
+      } else {
+        usage();
+      }
+    } else {
+      usage();
+    }
+  }
+  return args;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::unique_ptr<net::Netlist> load_netlist(const std::string& path) {
+  if (ends_with(path, ".v")) return io::read_verilog_file(path);
+  return io::read_bench_file(path);
+}
+
+layout::Parasitics load_or_extract(const Args& args, const net::Netlist& nl) {
+  if (!args.spef_path.empty()) return io::read_spef_lite_file(args.spef_path, nl);
+  const layout::Placement placement = layout::grid_place(nl, {});
+  const std::vector<layout::Route> routes = layout::route_all(nl, placement);
+  return layout::extract(nl, routes, {});
+}
+
+int cmd_analyze(const Args& args) {
+  auto nl = load_netlist(args.netlist_path);
+  const layout::Parasitics par = load_or_extract(args, *nl);
+  sta::DelayModel model(*nl, par);
+  noise::AnalyticCouplingCalculator calc(par, model);
+  const noise::NoiseReport rep = noise::analyze_iterative(
+      *nl, par, model, calc, noise::CouplingMask::all(par.num_couplings()));
+  std::printf("design        : %s\n", nl->name().c_str());
+  std::printf("gates / nets  : %zu / %zu\n", nl->num_gates(), nl->num_nets());
+  std::printf("couplings     : %zu\n", par.num_couplings());
+  std::printf("noiseless     : %.4f ns\n", rep.noiseless_delay);
+  std::printf("with noise    : %.4f ns  (+%.1f%%)\n", rep.noisy_delay,
+              100.0 * (rep.noisy_delay / rep.noiseless_delay - 1.0));
+  std::printf("iterations    : %d (%s)\n", rep.iterations,
+              rep.converged ? "converged" : "NOT converged");
+  if (args.clock_ns > 0.0) {
+    const noise::ConstraintReport cr =
+        noise::check_constraints(*nl, rep, args.clock_ns);
+    std::printf("clock         : %.4f ns, worst slack %.4f ns, %zu "
+                "violation(s), TNS %.4f ns\n",
+                cr.clock_period_ns, cr.worst_slack_ns, cr.violations.size(),
+                cr.total_negative_slack_ns);
+    for (const noise::Violation& v : cr.violations) {
+      std::printf("  VIOLATION %-20s arrival %.4f slack %.4f\n",
+                  nl->net(v.endpoint).name.c_str(), v.arrival_ns, v.slack_ns);
+    }
+  }
+  return 0;
+}
+
+int cmd_topk(const Args& args) {
+  auto nl = load_netlist(args.netlist_path);
+  const layout::Parasitics par = load_or_extract(args, *nl);
+  sta::DelayModel model(*nl, par);
+  noise::AnalyticCouplingCalculator calc(par, model);
+  topk::TopkEngine engine(*nl, par, model, calc);
+  topk::TopkOptions opt;
+  opt.k = args.k;
+  opt.mode = args.mode;
+  const topk::TopkResult res = engine.run(opt);
+  std::printf("top-%d %s set (baseline %.4f ns -> %.4f ns):\n", args.k,
+              args.mode == topk::Mode::kAddition ? "addition" : "elimination",
+              res.baseline_delay, res.evaluated_delay);
+  for (layout::CapId id : res.members) {
+    const layout::CouplingCap& cc = par.coupling(id);
+    std::printf("  %-20s ~ %-20s %8.5f pF\n", nl->net(cc.net_a).name.c_str(),
+                nl->net(cc.net_b).name.c_str(), cc.cap_pf);
+  }
+  std::printf("engine: %.3f s, %zu candidate sets, max list %zu\n",
+              res.stats.runtime_s, res.stats.sets_generated,
+              res.stats.max_list_size);
+  if (!args.out_path.empty()) {
+    std::ofstream out(args.out_path);
+    TKA_CHECK(static_cast<bool>(out), "topk: cannot open --out file");
+    if (ends_with(args.out_path, ".csv")) {
+      io::write_topk_trail_csv(out, res);
+    } else {
+      io::write_topk_result_json(out, *nl, par, res, args.k);
+    }
+    std::printf("wrote %s\n", args.out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_glitch(const Args& args) {
+  auto nl = load_netlist(args.netlist_path);
+  const layout::Parasitics par = load_or_extract(args, *nl);
+  sta::DelayModel model(*nl, par);
+  noise::AnalyticCouplingCalculator calc(par, model);
+  const sta::StaResult sta_res = sta::run_sta(*nl, model);
+  noise::EnvelopeBuilder builder(*nl, par, calc, sta_res.windows);
+  const noise::GlitchReport rep = noise::analyze_glitch(
+      *nl, par, model, builder, noise::CouplingMask::all(par.num_couplings()));
+  std::printf("worst glitch  : %.3f V on %s\n", rep.worst_peak_v,
+              rep.worst_net == net::kInvalidNet
+                  ? "-"
+                  : nl->net(rep.worst_net).name.c_str());
+  std::printf("failing nets  : %zu\n", rep.failing_nets.size());
+  for (net::NetId n : rep.failing_nets) {
+    std::printf("  %-20s coupled %.3f V propagated %.3f V\n",
+                nl->net(n).name.c_str(), rep.coupled_peak_v[n],
+                rep.propagated_peak_v[n]);
+  }
+  return 0;
+}
+
+int cmd_paths(const Args& args) {
+  auto nl = load_netlist(args.netlist_path);
+  const layout::Parasitics par = load_or_extract(args, *nl);
+  sta::DelayModel model(*nl, par);
+  const sta::StaResult sta_res = sta::run_sta(*nl, model);
+  const auto paths =
+      sta::k_worst_paths(*nl, sta_res, static_cast<size_t>(args.num_paths));
+  for (size_t i = 0; i < paths.size(); ++i) {
+    std::printf("#%zu  %.4f ns :", i + 1, paths[i].arrival);
+    for (net::NetId n : paths[i].nets) std::printf(" %s", nl->net(n).name.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  TKA_CHECK(!args.out_path.empty(), "convert: --out required");
+  auto nl = load_netlist(args.netlist_path);
+  if (ends_with(args.out_path, ".v")) {
+    io::write_verilog_file(args.out_path, *nl);
+  } else if (ends_with(args.out_path, ".dot")) {
+    std::ofstream out(args.out_path);
+    TKA_CHECK(static_cast<bool>(out), "convert: cannot open output");
+    io::write_dot(out, *nl);
+  } else {
+    throw Error("convert: unsupported output format for '" + args.out_path + "'");
+  }
+  std::printf("wrote %s\n", args.out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "analyze") return cmd_analyze(args);
+    if (args.command == "topk") return cmd_topk(args);
+    if (args.command == "glitch") return cmd_glitch(args);
+    if (args.command == "paths") return cmd_paths(args);
+    if (args.command == "convert") return cmd_convert(args);
+    usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tka: %s\n", e.what());
+    return 1;
+  }
+}
