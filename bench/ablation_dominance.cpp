@@ -35,6 +35,7 @@ void run_circuit(const std::string& name, int k, size_t beam) {
 }  // namespace
 
 int main() {
+  bench::obs_begin();
   std::printf("Ablation: dominance pruning on/off (addition mode)\n\n");
   const int k = bench::scale() == 0 ? 6 : 10;
   // Bounded beam: dominance halves the candidate generation downstream
@@ -48,5 +49,6 @@ int main() {
   std::printf("\nExpected shape: comparable delays; with dominance the "
               "I-lists stay small (paper §3.2),\nwithout it and without a "
               "beam they explode (bounded only by the emergency cap).\n");
+  bench::obs_finish();
   return 0;
 }

@@ -16,6 +16,7 @@
 using namespace tka;
 
 int main() {
+  bench::obs_begin();
   std::printf("Ablation: coupling calculators and false-aggressor filter\n\n");
 
   // --- Pulse accuracy: analytic vs MNA on every coupling of i1. ---
@@ -106,5 +107,6 @@ int main() {
               "matches the linear model for small glitches and exceeds it as "
               "the glitch grows\n(the device weakens off its bias point) — "
               "the accuracy gap motivating ref [9]-style\nnon-linear models.\n");
+  bench::obs_finish();
   return 0;
 }

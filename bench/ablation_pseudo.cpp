@@ -12,6 +12,7 @@
 using namespace tka;
 
 int main() {
+  bench::obs_begin();
   std::printf("Ablation: pseudo input aggressors (addition mode)\n\n");
   const int k = bench::scale() == 0 ? 6 : 10;
 
@@ -41,5 +42,6 @@ int main() {
   std::printf("Expected shape: full I-list >= winner-only >= pseudo-off in "
               "discovered delay noise;\npseudo-off misses every cross-stage "
               "aggressor combination.\n");
+  bench::obs_finish();
   return 0;
 }

@@ -5,20 +5,61 @@
 //   0 = quick   (small circuits, small k; CI-friendly)
 //   1 = default (full i1..i10 suite, k up to 50)
 //   2 = full    (larger beams, closer to exhaustive settings)
+// Observability (same registry/tracer the library and CLI use):
+//   TKA_LOG=debug|info|warn|error|off   log threshold
+//   TKA_BENCH_TRACE=FILE.json           record spans, write a Chrome trace
+//   TKA_BENCH_METRICS=FILE.json         write metrics + span summary JSON
+// Call bench::obs_begin() first thing in main() and bench::obs_finish()
+// before returning; per-phase engine breakdowns then come for free.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "gen/benchmark_suite.hpp"
 #include "noise/coupling_calc.hpp"
+#include "obs/obs.hpp"
 #include "sta/analyzer.hpp"
 #include "topk/topk_engine.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace tka::bench {
+
+/// Applies TKA_LOG and arms the tracer when TKA_BENCH_TRACE or
+/// TKA_BENCH_METRICS names an output file.
+inline void obs_begin() {
+  if (const char* lvl = std::getenv("TKA_LOG")) {
+    log::Level level;
+    if (log::parse_level(lvl, &level)) log::set_level(level);
+  }
+  if (std::getenv("TKA_BENCH_TRACE") != nullptr ||
+      std::getenv("TKA_BENCH_METRICS") != nullptr) {
+    obs::register_core_metrics();
+    obs::tracer().enable(true);
+  }
+}
+
+/// Writes the files requested via the environment (no-op otherwise).
+inline void obs_finish() {
+  if (const char* path = std::getenv("TKA_BENCH_TRACE")) {
+    std::ofstream out(path);
+    if (out) {
+      obs::tracer().write_chrome_json(out);
+      std::fprintf(stderr, "wrote trace %s\n", path);
+    }
+  }
+  if (const char* path = std::getenv("TKA_BENCH_METRICS")) {
+    std::ofstream out(path);
+    if (out) {
+      obs::write_metrics_json(out);
+      std::fprintf(stderr, "wrote metrics %s\n", path);
+    }
+  }
+}
 
 inline int scale() {
   const char* env = std::getenv("TKA_BENCH_SCALE");

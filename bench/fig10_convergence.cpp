@@ -11,6 +11,7 @@
 using namespace tka;
 
 int main() {
+  bench::obs_begin();
   const int max_k = bench::scale() == 0 ? 25 : 75;
   const int step = bench::scale() == 0 ? 2 : 5;
   const std::vector<std::string> circuits =
@@ -44,5 +45,6 @@ int main() {
               "no-aggressor delay, the\nelimination curve falls from the "
               "all-aggressor delay, and the two approach each\nother as k "
               "grows.\n");
+  bench::obs_finish();
   return 0;
 }

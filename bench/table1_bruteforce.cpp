@@ -14,6 +14,7 @@
 using namespace tka;
 
 int main() {
+  bench::obs_begin();
   const int max_k = 5;
   const double timeout_s = bench::scale() == 0 ? 10.0 : 60.0;
 
@@ -71,5 +72,6 @@ int main() {
   std::printf("\nExpected shape (paper): identical delays for k <= 3; brute "
               "force times out as k grows;\n~2 orders of magnitude speedup "
               "where both finish.\n");
+  bench::obs_finish();
   return 0;
 }

@@ -13,6 +13,7 @@
 using namespace tka;
 
 int main() {
+  bench::obs_begin();
   const std::vector<int> ks = bench::suite_k_columns();
   const int max_k = bench::suite_max_k();
 
@@ -49,5 +50,6 @@ int main() {
               "baseline toward the all-aggressor\ndelay as k grows; runtime "
               "grows mildly (sub-exponentially) with k and with circuit "
               "size.\n");
+  bench::obs_finish();
   return 0;
 }

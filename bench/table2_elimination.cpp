@@ -13,6 +13,7 @@
 using namespace tka;
 
 int main() {
+  bench::obs_begin();
   const std::vector<int> ks = bench::suite_k_columns();
   const int max_k = bench::suite_max_k();
 
@@ -49,5 +50,6 @@ int main() {
   std::printf("\nExpected shape (paper): delay falls from the all-aggressor "
               "baseline toward the no-aggressor\ndelay as k grows; fixing the "
               "first few couplings buys the largest improvement.\n");
+  bench::obs_finish();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace tka::circuit {
@@ -22,6 +23,16 @@ wave::Pwl TransientResult::waveform(NodeId node) const {
 TransientResult simulate(const LinearCircuit& circuit, const TransientOptions& options) {
   TKA_ASSERT(options.step > 0.0);
   TKA_ASSERT(options.t_end > options.t_start);
+  obs::ScopedSpan span("transient.solve");
+  if (span.recording()) {
+    span.arg("nodes", static_cast<std::int64_t>(circuit.node_count()))
+        .arg("step_ns", options.step);
+  }
+  static obs::Counter& c_solves = obs::registry().counter("transient.solves");
+  static obs::Histogram& h_seconds =
+      obs::registry().histogram("transient.solve_seconds", 1e-6, 100.0);
+  obs::ScopedHistogramTimer timer(h_seconds);
+  c_solves.add(1);
   const size_t n = circuit.unknown_count();
   const size_t nodes = circuit.node_count();
   const double h = options.step;

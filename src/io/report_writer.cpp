@@ -82,7 +82,18 @@ void write_topk_result_json(std::ostream& out, const net::Netlist& nl,
   for (size_t i = 0; i < result.estimated_delay_by_k.size(); ++i) {
     out << (i == 0 ? "" : ", ") << num(result.estimated_delay_by_k[i]);
   }
-  out << "]\n}\n";
+  out << "],\n";
+  const topk::TopkStats& stats = result.stats;
+  out << "  \"stats\": {\n";
+  out << "    \"sets_generated\": " << stats.sets_generated << ",\n";
+  out << "    \"dominance_pruned\": " << stats.prune.removed_dominated << ",\n";
+  out << "    \"beam_capped\": " << stats.prune.removed_beam << ",\n";
+  out << "    \"max_list_size\": " << stats.max_list_size << ",\n";
+  out << "    \"runtime_by_k_s\": [";
+  for (size_t i = 0; i < stats.runtime_by_k.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << num(stats.runtime_by_k[i]);
+  }
+  out << "]\n  }\n}\n";
 }
 
 void write_topk_trail_csv(std::ostream& out, const topk::TopkResult& result) {

@@ -25,7 +25,13 @@ void write_noise_report_json(std::ostream& out, const net::Netlist& nl,
 /// { "design": str, "mode": "addition"|"elimination", "k": int,
 ///   "baseline_delay_ns": num, "evaluated_delay_ns": num,
 ///   "runtime_s": num, "members": [ {"net_a": str, "net_b": str,
-///   "cap_pf": num} ], "delay_by_k": [num, ...] }
+///   "cap_pf": num} ], "delay_by_k": [num, ...],
+///   "stats": { "sets_generated": int, "dominance_pruned": int,
+///              "beam_capped": int, "max_list_size": int,
+///              "runtime_by_k_s": [num, ...] } }
+/// Times are wall-clock seconds from the obs monotonic clock (see
+/// topk::TopkStats); "sets_generated" is 0 when the library was built with
+/// TKA_OBS_DISABLED.
 void write_topk_result_json(std::ostream& out, const net::Netlist& nl,
                             const layout::Parasitics& par,
                             const topk::TopkResult& result, int k);

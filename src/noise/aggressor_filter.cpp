@@ -3,7 +3,9 @@
 #include <memory>
 
 #include "net/logic_sim.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace tka::noise {
 
@@ -12,6 +14,9 @@ AggressorFilter::AggressorFilter(const net::Netlist& nl, const layout::Parasitic
                                  EnvelopeBuilder& builder, const FilterOptions& opt)
     : par_(&par), false_side_(2 * par.num_couplings(), 0) {
   const CouplingMask all = CouplingMask::all(par.num_couplings());
+  obs::ScopedSpan span("noise.filter");
+  size_t by_zero_cap = 0, by_peak = 0, by_toggle = 0, by_window = 0;
+  const bool debug = log::enabled(log::Level::kDebug);
 
   std::unique_ptr<net::ToggleProfile> toggles;
   if (opt.functional) {
@@ -30,18 +35,30 @@ AggressorFilter::AggressorFilter(const net::Netlist& nl, const layout::Parasitic
       if (cc.cap_pf <= 0.0) {
         false_side_[side] = 1;
         ++num_filtered_;
+        ++by_zero_cap;
         continue;
       }
       const wave::PulseShape shape = builder.pulse_shape(victim, id);
       if (shape.peak < opt.min_peak_v) {
         false_side_[side] = 1;
         ++num_filtered_;
+        ++by_peak;
+        if (debug) {
+          log::debug() << "filter: cap " << id << " false for victim "
+                       << nl.net(victim).name << " (peak " << shape.peak
+                       << " V < " << opt.min_peak_v << " V)";
+        }
         continue;
       }
       if (toggles != nullptr &&
           !toggles->both_toggled(victim, cc.other(victim))) {
         false_side_[side] = 1;
         ++num_filtered_;
+        ++by_toggle;
+        if (debug) {
+          log::debug() << "filter: cap " << id << " false for victim "
+                       << nl.net(victim).name << " (no functional toggle overlap)";
+        }
         continue;
       }
       if (!have_iv[victim]) {
@@ -56,8 +73,22 @@ AggressorFilter::AggressorFilter(const net::Netlist& nl, const layout::Parasitic
           wave::Pwl::zero().encapsulates(env, iv[victim].lo, iv[victim].hi, 1e-12)) {
         false_side_[side] = 1;
         ++num_filtered_;
+        ++by_window;
+        if (debug) {
+          log::debug() << "filter: cap " << id << " false for victim "
+                       << nl.net(victim).name
+                       << " (envelope outside the dominance interval)";
+        }
       }
     }
+  }
+  obs::registry().counter("noise.filter_false_sides").add(num_filtered_);
+  if (log::enabled(log::Level::kDebug)) {
+    log::debug() << "filter: " << num_filtered_ << " of "
+                 << 2 * par.num_couplings() << " victim-cap sides false ("
+                 << by_zero_cap << " zero-cap, " << by_peak << " low-peak, "
+                 << by_toggle << " no-toggle, " << by_window
+                 << " outside-window)";
   }
 }
 

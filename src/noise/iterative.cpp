@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -14,6 +15,16 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
                               const CouplingMask& mask,
                               const IterativeOptions& opt) {
   TKA_ASSERT(mask.size() == par.num_couplings());
+  obs::ScopedSpan span("noise.fixpoint");
+  static obs::Counter& c_runs = obs::registry().counter("noise.fixpoint_runs");
+  static obs::Counter& c_iters =
+      obs::registry().counter("noise.fixpoint_iterations");
+  static obs::Counter& c_nonconv =
+      obs::registry().counter("noise.fixpoint_nonconverged");
+  static obs::Histogram& h_iters =
+      obs::registry().histogram("noise.fixpoint_iters", 1.0, 64.0);
+  c_runs.add(1);
+
   NoiseReport report;
   NoiseAnalyzer analyzer(nl, par, model);
 
@@ -38,6 +49,10 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
   bool converged = false;
   int iter = 0;
   for (; iter < opt.max_iterations; ++iter) {
+    obs::ScopedSpan iter_span("noise.iteration");
+    if (iter_span.recording()) {
+      iter_span.arg("iter", static_cast<std::int64_t>(iter));
+    }
     current = sta::run_sta(nl, model, opt.sta, &bump);
     EnvelopeBuilder builder(nl, par, calc, current.windows);
     double max_change = 0.0;
@@ -57,9 +72,15 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
       break;
     }
   }
+  c_iters.add(static_cast<std::uint64_t>(iter));
+  h_iters.observe(static_cast<double>(iter));
   if (!converged) {
+    c_nonconv.add(1);
     log::warn() << "analyze_iterative: no convergence after " << opt.max_iterations
-                << " iterations";
+                << " iterations (tol " << tol << " ns)";
+  } else if (log::enabled(log::Level::kDebug)) {
+    log::debug() << "analyze_iterative: converged after " << iter
+                 << " iteration(s), tol " << tol << " ns";
   }
 
   const sta::StaResult final_sta = sta::run_sta(nl, model, opt.sta, &bump);

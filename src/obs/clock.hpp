@@ -1,0 +1,28 @@
+// The observability clock: one process-wide monotonic time source.
+//
+// Every runtime figure the library reports — span timestamps, histogram
+// samples, TopkStats::runtime_s / runtime_by_k — is derived from this
+// clock, so numbers from different layers are directly comparable. This
+// header is intentionally independent of TKA_OBS_DISABLED: compiling the
+// tracing/metrics hooks out must not change how runtimes are measured.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tka::obs {
+
+/// Nanoseconds on the monotonic (steady) clock. Only differences are
+/// meaningful; the epoch is unspecified.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Converts a now_ns() difference to seconds.
+inline double ns_to_seconds(std::int64_t ns) {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+}  // namespace tka::obs

@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/string_util.hpp"
+
+#if TKA_OBS_ENABLED
+
+namespace tka::obs {
+namespace {
+
+std::string num(double v) { return str::format("%.9g", v); }
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi) {
+  if (!(lo > 0.0)) lo = 1e-9;
+  if (!(hi > lo)) hi = lo * 2.0;
+  const double ratio = hi / lo;
+  const double steps = static_cast<double>(kNumBuckets - 2);
+  for (std::size_t i = 0; i + 1 < kNumBuckets; ++i) {
+    upper_[i] = lo * std::pow(ratio, static_cast<double>(i) / steps);
+  }
+  upper_[kNumBuckets - 1] = std::numeric_limits<double>::infinity();
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i + 1 < kNumBuckets && v > upper_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      bits, std::bit_cast<std::uint64_t>(std::bit_cast<double>(bits) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo, double hi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(lo, hi))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n";
+  write_json_fields(out);
+  out << "\n}";
+}
+
+void MetricsRegistry::write_json_fields(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << num(g->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
+        << h->count() << ", \"sum\": " << num(h->sum()) << ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h->bucket_count(i) == 0) continue;
+      out << (bfirst ? "" : ", ") << "{\"le\": ";
+      if (std::isinf(h->bucket_upper(i))) {
+        out << "\"+Inf\"";
+      } else {
+        out << num(h->bucket_upper(i));
+      }
+      out << ", \"n\": " << h->bucket_count(i) << "}";
+      bfirst = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+void register_core_metrics() {
+  MetricsRegistry& reg = registry();
+  // Counters.
+  for (const char* name :
+       {"topk.runs", "topk.sets_generated", "topk.dominance_pruned",
+        "topk.beam_capped", "topk.generation_capped", "noise.fixpoint_runs",
+        "noise.fixpoint_iterations", "noise.fixpoint_nonconverged",
+        "noise.filter_false_sides", "sta.runs", "transient.solves"}) {
+    reg.counter(name);
+  }
+  // Gauges.
+  for (const char* name : {"topk.max_list_size", "topk.runtime_s"}) {
+    reg.gauge(name);
+  }
+  // Histograms (specs must match the instrumentation call sites).
+  reg.histogram("topk.ilist_size", 1.0, 65536.0);
+  reg.histogram("noise.fixpoint_iters", 1.0, 64.0);
+  reg.histogram("sta.run_seconds", 1e-6, 100.0);
+  reg.histogram("transient.solve_seconds", 1e-6, 100.0);
+}
+
+}  // namespace tka::obs
+
+#else  // !TKA_OBS_ENABLED
+
+namespace tka::obs {
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n";
+  write_json_fields(out);
+  out << "\n}";
+}
+
+void MetricsRegistry::write_json_fields(std::ostream& out) const {
+  out << "  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}";
+}
+
+}  // namespace tka::obs
+
+#endif  // TKA_OBS_ENABLED

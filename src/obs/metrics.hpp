@@ -1,0 +1,196 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// exponential histograms.
+//
+// Updates are relaxed atomics on pre-looked-up metric objects, so hot loops
+// pay one atomic RMW per event and the registry stays usable from multiple
+// threads (registration takes a mutex; hoist lookups out of loops:
+//
+//   obs::Counter& sets = obs::registry().counter("topk.sets_generated");
+//   for (...) sets.add();
+//
+// Metric objects are never destroyed or reallocated once registered —
+// references stay valid for the life of the process, including across
+// registry().reset(), which only zeroes values.
+//
+// Compile-out: with TKA_OBS_DISABLED defined (cmake -DTKA_OBS_DISABLED=1)
+// every type below collapses to an empty inline no-op — no atomics, no
+// map, no allocation — and counter reads return 0. Code that *reports*
+// counter-derived numbers must treat zero as "observability disabled".
+#pragma once
+
+#include <cstdint>
+
+#include <iosfwd>
+#include <string_view>
+
+#if defined(TKA_OBS_DISABLED) && TKA_OBS_DISABLED
+#define TKA_OBS_ENABLED 0
+#else
+#define TKA_OBS_ENABLED 1
+#endif
+
+#if TKA_OBS_ENABLED
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tka::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (doubles stored as bit patterns for atomicity).
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket exponential histogram. Bucket upper bounds are laid out
+/// geometrically from `lo` (bucket 0) to `hi` (bucket kNumBuckets-2); the
+/// last bucket is +inf. Values below `lo` land in bucket 0. The bounds are
+/// fixed at registration; later `histogram()` lookups ignore their spec.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 32;
+
+  Histogram(double lo, double hi);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket `i`; +inf for the last bucket.
+  double bucket_upper(std::size_t i) const { return upper_[i]; }
+
+  void reset();
+
+ private:
+  std::array<double, kNumBuckets> upper_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// The process-wide named-metric registry.
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References remain valid forever (see file comment).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, double lo = 1e-6, double hi = 100.0);
+
+  /// Dumps every metric as one JSON object:
+  /// { "counters": {name: int}, "gauges": {name: num},
+  ///   "histograms": {name: {"count": int, "sum": num,
+  ///                         "buckets": [{"le": num|"+Inf", "n": int}]}} }
+  /// Histogram buckets with zero count are omitted.
+  void write_json(std::ostream& out) const;
+
+  /// The three fields of write_json without the surrounding braces, for
+  /// callers that splice extra fields into the same object.
+  void write_json_fields(std::ostream& out) const;
+
+  /// Zeroes every value; metric objects (and references) survive. Tests use
+  /// this to isolate runs.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The global registry.
+MetricsRegistry& registry();
+
+/// Pre-registers the library's metric name catalog (see
+/// docs/OBSERVABILITY.md) so a metrics dump contains every well-known name
+/// even when a phase never ran. Idempotent.
+void register_core_metrics();
+
+}  // namespace tka::obs
+
+#else  // !TKA_OBS_ENABLED — every hook is an inline no-op.
+
+namespace tka::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0.0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 32;
+  void observe(double) {}
+  std::uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  std::uint64_t bucket_count(std::size_t) const { return 0; }
+  double bucket_upper(std::size_t) const { return 0.0; }
+  void reset() {}
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view, double = 0.0, double = 0.0) {
+    return histogram_;
+  }
+  void write_json(std::ostream& out) const;
+  void write_json_fields(std::ostream& out) const;
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+inline MetricsRegistry& registry() {
+  static MetricsRegistry stub;
+  return stub;
+}
+
+inline void register_core_metrics() {}
+
+}  // namespace tka::obs
+
+#endif  // TKA_OBS_ENABLED

@@ -1,0 +1,264 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/clock.hpp"
+#include "util/string_util.hpp"
+
+#if TKA_OBS_ENABLED
+
+#include <algorithm>
+#include <map>
+
+namespace tka::obs {
+namespace {
+
+// JSON string escaping, local to avoid a dependency on tka_io (which sits
+// above this layer).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::int32_t this_thread_ordinal() {
+  static std::atomic<std::int32_t> next{0};
+  thread_local const std::int32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+// Per-thread open-span stack; reset lazily when the tracer generation
+// changes (clear() invalidates all indices).
+struct ThreadStack {
+  std::uint32_t generation = 0;
+  std::vector<std::int32_t> open;
+};
+
+ThreadStack& thread_stack() {
+  thread_local ThreadStack stack;
+  return stack;
+}
+
+}  // namespace
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer();  // never destroyed
+  return *t;
+}
+
+std::int64_t Tracer::begin_span(std::string_view name, std::int64_t start_ns) {
+  if (!enabled()) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadStack& ts = thread_stack();
+  if (ts.generation != generation_) {
+    ts.generation = generation_;
+    ts.open.clear();
+  }
+  SpanEvent ev;
+  ev.name = std::string(name);
+  ev.start_ns = start_ns;
+  ev.parent = ts.open.empty() ? -1 : ts.open.back();
+  ev.tid = this_thread_ordinal();
+  const std::int32_t index = static_cast<std::int32_t>(events_.size());
+  events_.push_back(std::move(ev));
+  ts.open.push_back(index);
+  return (static_cast<std::int64_t>(generation_) << 32) | index;
+}
+
+void Tracer::end_span(std::int64_t token, std::int64_t dur_ns,
+                      std::string&& args_json) {
+  if (token < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t gen = static_cast<std::uint32_t>(token >> 32);
+  const std::int32_t index = static_cast<std::int32_t>(token & 0xffffffff);
+  if (gen != generation_) return;  // clear() happened while the span was open
+  events_[static_cast<std::size_t>(index)].dur_ns = dur_ns;
+  events_[static_cast<std::size_t>(index)].args_json = std::move(args_json);
+  ThreadStack& ts = thread_stack();
+  if (ts.generation == generation_ && !ts.open.empty() && ts.open.back() == index) {
+    ts.open.pop_back();
+  }
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  ++generation_;
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t epoch = 0;
+  bool have_epoch = false;
+  for (const SpanEvent& ev : events_) {
+    if (ev.dur_ns < 0) continue;
+    if (!have_epoch || ev.start_ns < epoch) {
+      epoch = ev.start_ns;
+      have_epoch = true;
+    }
+  }
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanEvent& ev : events_) {
+    if (ev.dur_ns < 0) continue;  // still open; not representable as "X"
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << str::format(
+        "{\"name\": \"%s\", \"cat\": \"tka\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \"args\": {%s}}",
+        escape(ev.name).c_str(), static_cast<double>(ev.start_ns - epoch) * 1e-3,
+        static_cast<double>(ev.dur_ns) * 1e-3, ev.tid, ev.args_json.c_str());
+  }
+  out << (first ? "" : "\n") << "]}";
+}
+
+std::vector<SpanSummary> Tracer::summarize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Parents always precede children in the event vector (a parent's
+  // begin_span runs before any child's), so one forward pass resolves
+  // every path.
+  std::vector<std::string> path(events_.size());
+  struct Agg {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t child_ns = 0;
+    std::size_t depth = 0;
+  };
+  std::map<std::string, Agg> agg;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const SpanEvent& ev = events_[i];
+    if (ev.parent >= 0) {
+      path[i] = path[static_cast<std::size_t>(ev.parent)] + "/" + ev.name;
+    } else {
+      path[i] = ev.name;
+    }
+    if (ev.dur_ns < 0) continue;
+    Agg& a = agg[path[i]];
+    a.count += 1;
+    a.total_ns += ev.dur_ns;
+    a.depth = static_cast<std::size_t>(std::count(path[i].begin(), path[i].end(), '/'));
+    if (ev.parent >= 0) {
+      const SpanEvent& p = events_[static_cast<std::size_t>(ev.parent)];
+      if (p.dur_ns >= 0) {
+        agg[path[static_cast<std::size_t>(ev.parent)]].child_ns += ev.dur_ns;
+      }
+    }
+  }
+  std::vector<SpanSummary> rows;
+  rows.reserve(agg.size());
+  for (const auto& [p, a] : agg) {
+    SpanSummary row;
+    row.path = p;
+    row.depth = a.depth;
+    row.count = a.count;
+    row.total_s = ns_to_seconds(a.total_ns);
+    row.self_s = ns_to_seconds(a.total_ns - a.child_ns);
+    rows.push_back(std::move(row));
+  }
+  return rows;  // std::map iteration: already path-sorted
+}
+
+void Tracer::write_summary(std::ostream& out) const {
+  const std::vector<SpanSummary> rows = summarize();
+  out << str::format("%-48s %8s %12s %12s\n", "span", "count", "total", "self");
+  for (const SpanSummary& row : rows) {
+    const std::size_t cut = row.path.rfind('/');
+    const std::string leaf =
+        cut == std::string::npos ? row.path : row.path.substr(cut + 1);
+    std::string label(2 * row.depth, ' ');
+    label += leaf;
+    out << str::format("%-48s %8llu %10.6f s %10.6f s\n", label.c_str(),
+                       static_cast<unsigned long long>(row.count), row.total_s,
+                       row.self_s);
+  }
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  start_ns_ = now_ns();
+  token_ = tracer().begin_span(name, start_ns_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (token_ < 0) return;
+  tracer().end_span(token_, now_ns() - start_ns_, std::move(args_));
+}
+
+ScopedSpan& ScopedSpan::arg(std::string_view key, std::int64_t v) {
+  if (token_ < 0) return *this;
+  if (!args_.empty()) args_ += ", ";
+  args_ += str::format("\"%s\": %lld", escape(key).c_str(),
+                       static_cast<long long>(v));
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::arg(std::string_view key, double v) {
+  if (token_ < 0) return *this;
+  if (!args_.empty()) args_ += ", ";
+  args_ += str::format("\"%s\": %.9g", escape(key).c_str(), v);
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::arg(std::string_view key, std::string_view v) {
+  if (token_ < 0) return *this;
+  if (!args_.empty()) args_ += ", ";
+  args_ += str::format("\"%s\": \"%s\"", escape(key).c_str(), escape(v).c_str());
+  return *this;
+}
+
+void write_metrics_json(std::ostream& out) {
+  out << "{\n";
+  registry().write_json_fields(out);
+  out << ",\n  \"spans\": [";
+  const std::vector<SpanSummary> rows = tracer().summarize();
+  bool first = true;
+  for (const SpanSummary& row : rows) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << str::format(
+        "    {\"path\": \"%s\", \"count\": %llu, \"total_s\": %.9g, "
+        "\"self_s\": %.9g}",
+        escape(row.path).c_str(), static_cast<unsigned long long>(row.count),
+        row.total_s, row.self_s);
+  }
+  out << (first ? "" : "\n  ") << "]\n}";
+}
+
+}  // namespace tka::obs
+
+#else  // !TKA_OBS_ENABLED
+
+namespace tka::obs {
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": []}";
+}
+
+void write_metrics_json(std::ostream& out) {
+  out << "{\n";
+  registry().write_json_fields(out);
+  out << ",\n  \"spans\": []\n}";
+}
+
+}  // namespace tka::obs
+
+#endif  // TKA_OBS_ENABLED

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/topo.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace tka::sta {
@@ -10,6 +11,12 @@ namespace tka::sta {
 StaResult run_sta(const net::Netlist& nl, const DelayModel& model,
                   const StaOptions& options, const std::vector<double>* lat_bump) {
   if (lat_bump != nullptr) TKA_ASSERT(lat_bump->size() == nl.num_nets());
+  obs::ScopedSpan span("sta.run");
+  static obs::Counter& c_runs = obs::registry().counter("sta.runs");
+  static obs::Histogram& h_seconds =
+      obs::registry().histogram("sta.run_seconds", 1e-6, 100.0);
+  obs::ScopedHistogramTimer timer(h_seconds);
+  c_runs.add(1);
 
   StaResult result;
   result.windows.assign(nl.num_nets(), TimingWindow{});

@@ -5,9 +5,11 @@
 #include <memory>
 
 #include "net/topo.hpp"
+#include "obs/obs.hpp"
 #include "sta/critical_path.hpp"
 #include "util/assert.hpp"
-#include "util/timer.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
 
 namespace tka::topk {
 namespace {
@@ -34,7 +36,25 @@ double TopkEngine::evaluate_set(std::span<const layout::CapId> members, Mode mod
 
 TopkResult TopkEngine::run(const TopkOptions& opt) const {
   TKA_ASSERT(opt.k >= 1);
-  Timer timer;
+  // All run timing below comes from the obs monotonic clock so TopkStats,
+  // span durations and registry values agree with each other.
+  const std::int64_t run_start_ns = obs::now_ns();
+  obs::ScopedSpan run_span("topk.run");
+  run_span.arg("k", static_cast<std::int64_t>(opt.k))
+      .arg("mode", opt.mode == Mode::kAddition ? "addition" : "elimination");
+
+  // Per-run metric handles, hoisted out of the hot loops. TopkStats counter
+  // fields are populated from registry deltas at the end of the run (and
+  // therefore read 0 when observability is compiled out).
+  obs::MetricsRegistry& reg = obs::registry();
+  obs::Counter& c_sets = reg.counter("topk.sets_generated");
+  obs::Counter& c_dominance = reg.counter("topk.dominance_pruned");
+  obs::Counter& c_beam = reg.counter("topk.beam_capped");
+  obs::Counter& c_gen_cap = reg.counter("topk.generation_capped");
+  obs::Histogram& h_ilist = reg.histogram("topk.ilist_size", 1.0, 65536.0);
+  reg.counter("topk.runs").add(1);
+  const std::uint64_t sets_before = c_sets.value();
+
   TopkResult result;
   result.mode = opt.mode;
 
@@ -44,10 +64,17 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
   noise::NoiseAnalyzer analyzer(*nl_, *par_, *model_);
   const double vdd = analyzer.vdd();
 
+  log::info() << "topk: start k=" << opt.k << " mode="
+              << (opt.mode == Mode::kAddition ? "addition" : "elimination")
+              << " nets=" << num_nets << " couplings=" << num_caps;
+
   // Baseline analyses. The all-aggressor fixpoint is always computed: it is
   // the elimination starting point and the addition reference.
-  result.all_aggressor_report =
-      noise::analyze_iterative(*nl_, *par_, *model_, *calc_, mask_all, opt.iterative);
+  {
+    obs::ScopedSpan baseline_span("topk.baseline");
+    result.all_aggressor_report = noise::analyze_iterative(
+        *nl_, *par_, *model_, *calc_, mask_all, opt.iterative);
+  }
   const noise::NoiseReport& all_rep = result.all_aggressor_report;
 
   const bool addition = (opt.mode == Mode::kAddition);
@@ -242,16 +269,31 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
   // so the second sweep is a pure refinement.
   const int sweeps = addition ? 1 : 2;
   for (size_t i = 1; i <= k; ++i) {
+    const std::int64_t card_start_ns = obs::now_ns();
+    obs::ScopedSpan card_span(str::format("topk.cardinality.%zu", i));
     std::vector<char> processed(num_nets, 0);
     for (int sweep = 0; sweep < sweeps; ++sweep) {
     for (net::NetId v : topo) {
+      obs::ScopedSpan victim_span("topk.victim");
+      if (victim_span.recording()) {
+        victim_span.arg("net", nl_->net(v).name)
+            .arg("i", static_cast<std::int64_t>(i))
+            .arg("sweep", static_cast<std::int64_t>(sweep));
+      }
       IList& list = cur[v];
       if (sweep == 0) list.clear();
 
       // Step 1: extend I-list_{i-1} with one additional primary aggressor.
       if (full_victim[v]) {
         for (const CandidateSet& s : prev[v]) {
-          if (list.size() >= kGenerationCap) break;
+          if (list.size() >= kGenerationCap) {
+            c_gen_cap.add(1);
+            if (log::enabled(log::Level::kDebug)) {
+              log::debug() << "topk: victim " << nl_->net(v).name
+                           << " hit the generation cap at cardinality " << i;
+            }
+            break;
+          }
           for (layout::CapId cap : active_caps[v]) {
             const wave::Pwl& cap_env = builder.envelope(v, cap);
             if (cap_env.empty()) continue;
@@ -263,7 +305,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
               cand.envelope = cand.envelope.simplified(opt.envelope_tol);
             }
             cand.score = score_env(v, cand.envelope);
-            ++result.stats.sets_generated;
+            c_sets.add(1);
             list.try_add(std::move(cand));
           }
         }
@@ -297,7 +339,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
             cand.envelope = cand.envelope.simplified(opt.envelope_tol);
           }
           cand.score = score_env(v, cand.envelope);
-          ++result.stats.sets_generated;
+          c_sets.add(1);
           list.try_add(std::move(cand));
         };
         for (size_t j = 0; j < g.inputs.size(); ++j) {
@@ -400,7 +442,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
             cand.envelope = builder.envelope_widened(v, cap, widen)
                                 .simplified(opt.envelope_tol);
             cand.score = score_env(v, cand.envelope);
-            ++result.stats.sets_generated;
+            c_sets.add(1);
             list.try_add(std::move(cand));
           } else {
             // Elimination: removing the aggressor's own worst i-set narrows
@@ -424,7 +466,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
             cand.members = s.members;
             cand.envelope = diff.simplified(opt.envelope_tol);
             cand.score = score_env(v, cand.envelope);
-            ++result.stats.sets_generated;
+            c_sets.add(1);
             list.try_add(std::move(cand));
           }
         }
@@ -434,6 +476,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
       // passed so each keeps an extension seed (see IList::reduce).
       list.reduce(iv[v], opt.dominance_tol, opt.beam_cap, opt.use_dominance,
                   &result.stats.prune, active_caps[v]);
+      h_ilist.observe(static_cast<double>(list.size()));
       result.stats.max_list_size = std::max(result.stats.max_list_size, list.size());
 
       // Step 5: record the per-victim winner of this cardinality.
@@ -594,7 +637,15 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
     result.set_by_k.push_back(pad_to(std::move(best_set), i));
     result.estimated_delay_by_k.push_back(best_delay);
     result.finalists_by_k.push_back(std::move(finalists));
-    result.stats.runtime_by_k.push_back(timer.seconds());
+    const std::int64_t now = obs::now_ns();
+    result.stats.runtime_by_k.push_back(obs::ns_to_seconds(now - run_start_ns));
+    reg.gauge(str::format("topk.cardinality_runtime_s.k%zu", i))
+        .set(obs::ns_to_seconds(now - card_start_ns));
+    if (log::enabled(log::Level::kDebug)) {
+      log::debug() << "topk: cardinality " << i << " done in "
+                   << obs::ns_to_seconds(now - card_start_ns) << " s, best delay "
+                   << best_delay;
+    }
 
     // Shift layers: cur becomes prev.
     for (net::NetId v = 0; v < num_nets; ++v) {
@@ -606,6 +657,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
   result.estimated_delay = result.estimated_delay_by_k.back();
   result.evaluated_delay = result.estimated_delay;
   if (opt.reevaluate && !result.members.empty()) {
+    obs::ScopedSpan reevaluate_span("topk.reevaluate");
     result.evaluated_delay = evaluate_set(result.members, opt.mode, opt.iterative);
     if (opt.rerank_top > 0) {
       // Exact re-ranking: the estimator is first-order (it does not re-run
@@ -648,7 +700,21 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
       }
     }
   }
-  result.stats.runtime_s = timer.seconds();
+  result.stats.runtime_s = obs::ns_to_seconds(obs::now_ns() - run_start_ns);
+
+  // Publish the per-run prune tallies and fill the counter-derived stats
+  // fields from the registry (zero when observability is compiled out).
+  c_dominance.add(result.stats.prune.removed_dominated);
+  c_beam.add(result.stats.prune.removed_beam);
+  result.stats.sets_generated = c_sets.value() - sets_before;
+  reg.gauge("topk.max_list_size").set(static_cast<double>(result.stats.max_list_size));
+  reg.gauge("topk.runtime_s").set(result.stats.runtime_s);
+
+  log::info() << "topk: done in " << result.stats.runtime_s << " s, "
+              << result.stats.sets_generated << " sets generated, "
+              << result.stats.prune.removed_dominated << " dominance-pruned, "
+              << result.stats.prune.removed_beam << " beam-capped, delay "
+              << result.baseline_delay << " -> " << result.evaluated_delay;
   return result;
 }
 

@@ -70,12 +70,23 @@ struct TopkOptions {
 };
 
 /// Counters for reporting and the ablation benches.
+///
+/// All times are wall-clock **seconds** measured on the obs monotonic clock
+/// (obs/clock.hpp) — the same source the tracer stamps spans with, so these
+/// numbers line up with `--trace` / `--metrics` output. Counter-derived
+/// fields (`sets_generated`) are populated from the obs metrics registry at
+/// the end of a run and read 0 when the library is built with
+/// TKA_OBS_DISABLED; the timing fields and `max_list_size`/`prune` are
+/// always populated.
 struct TopkStats {
-  size_t sets_generated = 0;
-  size_t max_list_size = 0;
-  PruneStats prune;
-  double runtime_s = 0.0;
-  std::vector<double> runtime_by_k;  ///< cumulative seconds after each i
+  size_t sets_generated = 0;  ///< candidate sets scored (registry-backed)
+  size_t max_list_size = 0;   ///< largest I-list seen after reduction
+  PruneStats prune;           ///< dominance/beam removal tallies
+  double runtime_s = 0.0;     ///< whole-run wall-clock seconds
+  /// Cumulative wall-clock seconds from run start to the end of each
+  /// cardinality i (index i-1); runtime_by_k.back() ~ runtime_s minus the
+  /// final re-evaluation.
+  std::vector<double> runtime_by_k;
 };
 
 /// Engine output.

@@ -26,8 +26,23 @@ void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void write(Level lv, const std::string& message) {
-  if (static_cast<int>(lv) < static_cast<int>(level())) return;
+  if (!enabled(lv)) return;
   std::fprintf(stderr, "[tka %s] %s\n", tag(lv), message.c_str());
+}
+
+bool parse_level(std::string_view name, Level* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (lower == "debug") *out = Level::kDebug;
+  else if (lower == "info") *out = Level::kInfo;
+  else if (lower == "warn" || lower == "warning") *out = Level::kWarn;
+  else if (lower == "error") *out = Level::kError;
+  else if (lower == "off" || lower == "none") *out = Level::kOff;
+  else return false;
+  return true;
 }
 
 }  // namespace tka::log

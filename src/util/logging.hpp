@@ -5,6 +5,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tka::log {
 
@@ -18,6 +19,18 @@ Level level();
 
 /// Emits one line at `level` (no-op when below threshold).
 void write(Level level, const std::string& message);
+
+/// True when messages at `lv` would be emitted. Guard hot-path or
+/// expensive-to-format messages with it — the stream helpers below always
+/// pay the formatting cost, discarding only at write time:
+///   if (log::enabled(log::Level::kDebug)) log::debug() << ...;
+inline bool enabled(Level lv) {
+  return static_cast<int>(lv) >= static_cast<int>(level());
+}
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Returns false (and leaves `out` untouched) on anything else.
+bool parse_level(std::string_view name, Level* out);
 
 namespace detail {
 

@@ -4,6 +4,7 @@
 
 #include "fixtures.hpp"
 #include "noise/coupling_calc.hpp"
+#include "obs/obs.hpp"
 #include "topk/topk_engine.hpp"
 
 namespace tka::topk {
@@ -133,7 +134,11 @@ TEST(EngineEdge, FilterToggleConsistency) {
 TEST(EngineEdge, StatsArePopulated) {
   Harness h(basic_fixture());
   const TopkResult res = h.engine.run(h.options(2, Mode::kAddition));
+#if TKA_OBS_ENABLED
+  // Counter-derived stats come from the obs metrics registry and read 0
+  // when the observability layer is compiled out.
   EXPECT_GT(res.stats.sets_generated, 0u);
+#endif
   EXPECT_GT(res.stats.max_list_size, 0u);
   EXPECT_GT(res.stats.runtime_s, 0.0);
   ASSERT_EQ(res.stats.runtime_by_k.size(), 2u);

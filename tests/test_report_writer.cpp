@@ -79,6 +79,31 @@ TEST(TopkJson, RoundTripsSetMembers) {
   EXPECT_NE(json.find("\"delay_by_k\": ["), std::string::npos);
 }
 
+TEST(TopkJson, StatsSectionPresent) {
+  ReportHarness h;
+  topk::TopkEngine engine(*h.fx.netlist, h.fx.parasitics, h.model, h.calc);
+  topk::TopkOptions opt;
+  opt.k = 2;
+  opt.iterative.sta = h.fx.sta_options();
+  const topk::TopkResult res = engine.run(opt);
+
+  std::ostringstream os;
+  write_topk_result_json(os, *h.fx.netlist, h.fx.parasitics, res, 2);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"stats\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"sets_generated\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dominance_pruned\": "), std::string::npos);
+  EXPECT_NE(json.find("\"beam_capped\": "), std::string::npos);
+  EXPECT_NE(json.find("\"max_list_size\": "), std::string::npos);
+  // One runtime sample per cardinality, comma-separated inside the array.
+  const size_t arr = json.find("\"runtime_by_k_s\": [");
+  ASSERT_NE(arr, std::string::npos);
+  const size_t end = json.find(']', arr);
+  ASSERT_NE(end, std::string::npos);
+  const std::string values = json.substr(arr, end - arr);
+  EXPECT_NE(values.find(", "), std::string::npos);  // two entries for k=2
+}
+
 TEST(TopkCsv, OneRowPerCardinality) {
   ReportHarness h;
   topk::TopkEngine engine(*h.fx.netlist, h.fx.parasitics, h.model, h.calc);

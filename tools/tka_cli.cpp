@@ -8,6 +8,12 @@
 //   tka paths    <netlist> [--spef F] [-n N]     worst timing paths
 //   tka convert  <netlist> --out F.v|F.bench|F.dot
 //
+// Observability flags (every command):
+//   --trace FILE.json     record spans; write Chrome trace-event JSON
+//                         (open in chrome://tracing or ui.perfetto.dev)
+//   --metrics FILE.json   write the metrics registry + span summary JSON
+//   --log-level LEVEL     debug|info|warn|error|off (default warn)
+//
 // <netlist> is a .bench or .v file (by extension). Without --spef,
 // parasitics are synthesized with the built-in placer/router/extractor.
 #include <cstdio>
@@ -30,9 +36,11 @@
 #include "noise/glitch.hpp"
 #include "noise/iterative.hpp"
 #include "noise/violations.hpp"
+#include "obs/obs.hpp"
 #include "sta/path_enum.hpp"
 #include "topk/topk_engine.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 using namespace tka;
 
@@ -43,6 +51,8 @@ struct Args {
   std::string netlist_path;
   std::string spef_path;
   std::string out_path;
+  std::string trace_path;    // --trace: Chrome trace-event JSON
+  std::string metrics_path;  // --metrics: registry + span summary JSON
   int k = 10;
   int num_paths = 5;
   double clock_ns = 0.0;  // 0 = unconstrained
@@ -53,7 +63,8 @@ struct Args {
   std::fprintf(stderr,
                "usage: tka <analyze|topk|glitch|paths|convert> <netlist> "
                "[--spef F] [--clock T] [-k N] [--mode add|elim] [-n N] "
-               "[--out F]\n");
+               "[--out F] [--trace F.json] [--metrics F.json] "
+               "[--log-level debug|info|warn|error|off]\n");
   std::exit(2);
 }
 
@@ -70,6 +81,14 @@ Args parse_args(int argc, char** argv) {
     };
     if (a == "--spef") {
       args.spef_path = next();
+    } else if (a == "--trace") {
+      args.trace_path = next();
+    } else if (a == "--metrics") {
+      args.metrics_path = next();
+    } else if (a == "--log-level") {
+      log::Level level;
+      if (!log::parse_level(next(), &level)) usage();
+      log::set_level(level);
     } else if (a == "-k") {
       args.k = std::atoi(next().c_str());
     } else if (a == "-n") {
@@ -233,12 +252,30 @@ int cmd_convert(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    if (args.command == "analyze") return cmd_analyze(args);
-    if (args.command == "topk") return cmd_topk(args);
-    if (args.command == "glitch") return cmd_glitch(args);
-    if (args.command == "paths") return cmd_paths(args);
-    if (args.command == "convert") return cmd_convert(args);
-    usage();
+    if (!args.trace_path.empty() || !args.metrics_path.empty()) {
+      obs::register_core_metrics();
+      obs::tracer().enable(true);
+    }
+    int rc = -1;
+    if (args.command == "analyze") rc = cmd_analyze(args);
+    else if (args.command == "topk") rc = cmd_topk(args);
+    else if (args.command == "glitch") rc = cmd_glitch(args);
+    else if (args.command == "paths") rc = cmd_paths(args);
+    else if (args.command == "convert") rc = cmd_convert(args);
+    else usage();
+    if (!args.trace_path.empty()) {
+      std::ofstream out(args.trace_path);
+      TKA_CHECK(static_cast<bool>(out), "cannot open --trace file");
+      obs::tracer().write_chrome_json(out);
+      std::printf("wrote %s\n", args.trace_path.c_str());
+    }
+    if (!args.metrics_path.empty()) {
+      std::ofstream out(args.metrics_path);
+      TKA_CHECK(static_cast<bool>(out), "cannot open --metrics file");
+      obs::write_metrics_json(out);
+      std::printf("wrote %s\n", args.metrics_path.c_str());
+    }
+    return rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "tka: %s\n", e.what());
     return 1;
