@@ -9,6 +9,11 @@
 //   TKA_LOG=debug|info|warn|error|off   log threshold
 //   TKA_BENCH_TRACE=FILE.json           record spans, write a Chrome trace
 //   TKA_BENCH_METRICS=FILE.json         write metrics + span summary JSON
+// Parallelism:
+//   TKA_THREADS=N   worker threads for the engine sweeps, fixpoints and the
+//                   harness's own candidate evaluations (default: hardware
+//                   concurrency; results are identical for any N — see
+//                   docs/PARALLELISM.md)
 // Call bench::obs_begin() first thing in main() and bench::obs_finish()
 // before returning; per-phase engine breakdowns then come for free.
 #pragma once
@@ -22,6 +27,7 @@
 #include "gen/benchmark_suite.hpp"
 #include "noise/coupling_calc.hpp"
 #include "obs/obs.hpp"
+#include "runtime/runtime.hpp"
 #include "sta/analyzer.hpp"
 #include "topk/topk_engine.hpp"
 #include "util/logging.hpp"
@@ -148,19 +154,31 @@ inline double evaluate_at_k(const Design& d, const topk::TopkResult& res, int k,
                             topk::Mode mode, double running) {
   const size_t idx = static_cast<size_t>(k) - 1;
   const bool addition = (mode == topk::Mode::kAddition);
-  double best = running;
-  std::vector<const std::vector<layout::CapId>*> done;
+  // Dedup the winner + finalists in order, then evaluate the fixpoints in
+  // parallel (each one serial inside) and reduce in candidate order — the
+  // reported delay is identical for any TKA_THREADS.
+  std::vector<const std::vector<layout::CapId>*> cands;
   auto consider = [&](const std::vector<layout::CapId>& members) {
     if (members.empty()) return;
-    for (const auto* seen : done) {
+    for (const auto* seen : cands) {
       if (*seen == members) return;
     }
-    done.push_back(&members);
-    const double delay = evaluate(d, members, mode);
-    if (addition ? delay > best : delay < best) best = delay;
+    cands.push_back(&members);
   };
   consider(res.set_by_k[idx]);
   for (const auto& members : res.finalists_by_k[idx]) consider(members);
+
+  noise::IterativeOptions it;
+  it.sta = d.circuit.sta_options();
+  it.threads = 1;
+  std::vector<double> delays(cands.size(), 0.0);
+  runtime::parallel_for(0, 0, cands.size(), [&](size_t ci) {
+    delays[ci] = d.engine->evaluate_set(*cands[ci], mode, it);
+  });
+  double best = running;
+  for (double delay : delays) {
+    if (addition ? delay > best : delay < best) best = delay;
+  }
   return best;
 }
 

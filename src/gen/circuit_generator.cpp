@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "layout/router.hpp"
+#include "runtime/runtime.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -126,18 +127,24 @@ GeneratedCircuit generate_circuit(const GeneratorParams& p) {
 
   // Randomized input arrivals -> diverse timing windows. The spread scales
   // with the circuit's own noiseless delay so window diversity stays
-  // proportionally realistic across design sizes.
+  // proportionally realistic across design sizes. Each PI draws from its
+  // own counter-based stream Rng(seed', pi_index) — not from the shared
+  // structure RNG — so the loop parallelizes with results that depend only
+  // on (seed, pi_index), never on iteration order or thread count.
   out.arrivals.assign(nl.num_nets(), sta::InputArrival{});
   const sta::DelayModel model(nl, out.parasitics);
   const double base_delay = sta::run_sta(nl, model).max_lat;
   const double spread = std::max(p.arrival_spread_frac * base_delay, 1e-3);
   const double width = std::max(p.window_width_frac * base_delay, 1e-4);
-  for (net::NetId n : nl.primary_inputs()) {
+  const std::vector<net::NetId>& pis = nl.primary_inputs();
+  const std::uint64_t arrival_seed = p.seed ^ 0xA5A5A5A55A5A5A5AULL;
+  runtime::parallel_for(p.threads, 0, pis.size(), [&](std::size_t pi) {
+    Rng stream(arrival_seed, pi);
     sta::InputArrival a;
-    a.eat = rng.next_double(0.0, spread);
-    a.lat = a.eat + rng.next_double(0.0, width);
-    out.arrivals[n] = a;
-  }
+    a.eat = stream.next_double(0.0, spread);
+    a.lat = a.eat + stream.next_double(0.0, width);
+    out.arrivals[pis[pi]] = a;
+  });
   return out;
 }
 

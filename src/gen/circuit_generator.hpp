@@ -27,6 +27,11 @@ struct GeneratorParams {
   int min_depth = 8;              ///< logic depth lower bound
   double pi_fraction = 0.12;      ///< primary inputs per gate
 
+  /// Worker threads for the per-PI arrival randomization (each PI has its
+  /// own counter-based RNG stream, so the output is identical for any
+  /// count). 0 = auto (TKA_THREADS / hardware concurrency), 1 = serial.
+  int threads = 0;
+
   /// PI arrivals are randomized as a fraction of the circuit's noiseless
   /// delay (measured after extraction), so timing-window diversity scales
   /// with design size the way real input constraints do.

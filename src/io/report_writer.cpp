@@ -85,6 +85,7 @@ void write_topk_result_json(std::ostream& out, const net::Netlist& nl,
   out << "],\n";
   const topk::TopkStats& stats = result.stats;
   out << "  \"stats\": {\n";
+  out << "    \"threads\": " << stats.threads << ",\n";
   out << "    \"sets_generated\": " << stats.sets_generated << ",\n";
   out << "    \"dominance_pruned\": " << stats.prune.removed_dominated << ",\n";
   out << "    \"beam_capped\": " << stats.prune.removed_beam << ",\n";

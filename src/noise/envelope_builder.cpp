@@ -1,5 +1,7 @@
 #include "noise/envelope_builder.hpp"
 
+#include <mutex>
+
 #include "util/assert.hpp"
 
 namespace tka::noise {
@@ -33,9 +35,16 @@ wave::Pwl EnvelopeBuilder::build(net::NetId victim, layout::CapId cap,
 
 const wave::Pwl& EnvelopeBuilder::envelope(net::NetId victim, layout::CapId cap) {
   const std::uint64_t key = key_of(victim, cap);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  auto [ins, _] = cache_.emplace(key, build(victim, cap, 0.0));
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Build outside the lock; on a lost race try_emplace keeps the first
+  // value (both are identical — build() is a pure function of the key).
+  wave::Pwl env = build(victim, cap, 0.0);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  auto [ins, _] = cache_.try_emplace(key, std::move(env));
   return ins->second;
 }
 

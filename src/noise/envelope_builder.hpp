@@ -7,6 +7,7 @@
 // t50_agg - trans/2 (paper Figure 2).
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "noise/coupling_calc.hpp"
@@ -26,6 +27,8 @@ class EnvelopeBuilder {
   /// Trapezoidal envelope of `cap` on `victim` under the current windows.
   /// Cached; an extra `lat_extension` (>0 for higher-order aggressors)
   /// bypasses the cache and widens the aggressor window on the LAT side.
+  /// Thread-safe: concurrent victim-sweep workers share one builder (the
+  /// returned reference stays valid — unordered_map never moves nodes).
   const wave::Pwl& envelope(net::NetId victim, layout::CapId cap);
 
   /// Uncached variant with an explicitly widened aggressor window. A
@@ -53,7 +56,10 @@ class EnvelopeBuilder {
   const layout::Parasitics* par_;
   const CouplingCalculator* calc_;
   const sta::WindowTable* windows_;
-  // Cache keyed by (victim, cap) — a cap has two victim sides.
+  // Cache keyed by (victim, cap) — a cap has two victim sides. Guarded by
+  // cache_mu_ so parallel victim sweeps can share the builder; values are
+  // pure functions of the key, so a racing double-build is just discarded.
+  mutable std::shared_mutex cache_mu_;
   std::unordered_map<std::uint64_t, wave::Pwl> cache_;
 };
 

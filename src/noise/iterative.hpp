@@ -19,6 +19,11 @@ struct IterativeOptions {
   int max_iterations = 25;
   double tolerance_ns = 1e-4;      ///< max |bump change| for convergence
   bool pessimistic_start = false;  ///< start from upper-bound bumps
+  /// Worker threads for the per-victim relaxation sweep. 0 = resolve from
+  /// TKA_THREADS / hardware concurrency (runtime/runtime.hpp); 1 = serial.
+  /// Every victim writes its own slot and the convergence reduction runs
+  /// on the calling thread, so results are identical for any count.
+  int threads = 0;
   sta::StaOptions sta;             ///< input arrivals etc.
 };
 

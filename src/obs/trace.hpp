@@ -6,7 +6,14 @@
 // Recording is off by default; a ScopedSpan constructed while the tracer
 // is disabled costs one relaxed atomic load. Enable with
 // `obs::tracer().enable(true)` before the work of interest, then write the
-// trace with `write_chrome_json`. Span nesting is tracked per thread.
+// trace with `write_chrome_json`.
+//
+// Threading: every thread records into its own buffer (registered on first
+// span, guarded by its own mutex), so concurrent spans from pool workers
+// never contend on a shared vector. Nesting is tracked per thread; a span
+// begun on a worker is a root of that worker's lane. Export/summary/clear
+// aggregate across all buffers. Each thread's lane carries a stable small
+// `tid` (registration ordinal) in the Chrome trace.
 //
 // With TKA_OBS_DISABLED, ScopedSpan and Tracer collapse to inline no-ops
 // (empty trace, empty summary) — see metrics.hpp for the convention.
@@ -22,6 +29,7 @@
 #if TKA_OBS_ENABLED
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -33,8 +41,8 @@ struct SpanEvent {
   std::string name;
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = -1;     ///< -1 while the span is still open
-  std::int32_t parent = -1;     ///< index into the event vector, -1 = root
-  std::int32_t tid = 0;         ///< small per-thread ordinal
+  std::int32_t parent = -1;     ///< index into the owning thread's buffer, -1 = root
+  std::int32_t tid = 0;         ///< small per-thread ordinal (lane in the trace)
   std::string args_json;        ///< rendered `"k": v` pairs, comma-separated
 };
 
@@ -74,9 +82,16 @@ class Tracer {
   void end_span(std::int64_t token, std::int64_t dur_ns, std::string&& args_json);
 
  private:
+  struct ThreadBuffer;  // per-thread span storage; defined in trace.cpp
+  ThreadBuffer& this_thread_buffer();
+
+  // Lock order: mu_ (buffer registry) before any ThreadBuffer::mu.
+  // Recording paths take only the calling thread's buffer mutex; the
+  // aggregate paths (export/summary/clear/num_events) take mu_ then each
+  // buffer's in turn.
   mutable std::mutex mu_;
-  std::vector<SpanEvent> events_;
-  std::uint32_t generation_ = 0;  // bumped by clear(); stale tokens are dropped
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::uint32_t> generation_{0};  // bumped by clear(); stale tokens drop
   std::atomic<bool> enabled_{false};
 };
 

@@ -1,0 +1,36 @@
+#include "runtime/runtime.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace tka::runtime {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TKA_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& pool(int threads) {
+  static std::mutex mu;
+  // Leaked on purpose (like the obs registry/tracer): workers must not be
+  // joined during static destruction, and an outgrown pool may still be
+  // executing another caller's chunks, so it is abandoned, not deleted —
+  // its idle workers cost nothing and growth events are rare (the pool
+  // only ever steps up to the largest count ever requested).
+  static ThreadPool* current = nullptr;
+  const std::size_t want = threads > 1 ? static_cast<std::size_t>(threads) : 0;
+  std::lock_guard<std::mutex> lock(mu);
+  if (current == nullptr || current->size() < want) {
+    current = new ThreadPool(want);
+  }
+  return *current;
+}
+
+}  // namespace tka::runtime

@@ -1,0 +1,42 @@
+// Runtime configuration surface: thread-count resolution and the shared
+// process-wide worker pool.
+//
+// Thread-count resolution order (first set wins):
+//   1. the explicit per-call option (TopkOptions::threads,
+//      IterativeOptions::threads, ... — the CLI's --threads lands here),
+//   2. the TKA_THREADS environment variable,
+//   3. std::thread::hardware_concurrency().
+// A resolved count of 1 is the exact serial fallback: the same code paths
+// run inline on the calling thread (see thread_pool.hpp), so serial runs
+// are bit-identical to parallel ones by construction.
+#pragma once
+
+#include "runtime/thread_pool.hpp"
+
+namespace tka::runtime {
+
+/// Resolves a requested thread count: `requested` > 0 wins; otherwise
+/// TKA_THREADS when set to a positive integer; otherwise the hardware
+/// concurrency (at least 1).
+int resolve_threads(int requested);
+
+/// The shared pool, sized for `threads` (a resolved count). The pool is
+/// created on first use and grown when a larger request arrives; it never
+/// shrinks (idle workers cost nothing and callers cap their own fan-out via
+/// parallel_for's chunking). Thread-safe.
+ThreadPool& pool(int threads);
+
+/// Convenience: resolve `requested` and run fn(i) over [begin, end) on the
+/// shared pool. With a resolved count of 1 this is an inline serial loop.
+template <typename Fn>
+void parallel_for(int requested, std::size_t begin, std::size_t end, Fn&& fn) {
+  const int threads = resolve_threads(requested);
+  if (threads <= 1 || on_pool_thread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool(threads).parallel_for(begin, end, std::forward<Fn>(fn),
+                             static_cast<std::size_t>(threads));
+}
+
+}  // namespace tka::runtime

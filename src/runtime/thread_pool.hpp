@@ -1,0 +1,144 @@
+// Fixed-size worker pool with task futures and a deterministic parallel_for.
+//
+// Design constraints (docs/PARALLELISM.md):
+//  * Determinism: parallel_for partitions [begin, end) into contiguous
+//    chunks by a static rule that depends only on the range and worker
+//    count; callers that write per-index slots and reduce on the calling
+//    thread in index order get bit-identical results for every thread
+//    count, including 1.
+//  * Exact serial fallback: a pool of size <= 1 (or a parallel_for issued
+//    from inside a worker, see below) runs every index inline on the
+//    calling thread, in order, through the same code path — no special
+//    "serial mode" branches in client code.
+//  * No nested fan-out: a parallel_for issued from a pool worker runs
+//    inline. This makes nested parallelism (e.g. the top-k engine
+//    re-evaluating finalists, each of which runs the noise fixpoint whose
+//    relaxation sweep is itself a parallel_for) deadlock-free by
+//    construction and keeps the outermost loop as the unit of parallelism.
+//  * Exceptions: the first exception (lowest chunk index) thrown by a task
+//    of a parallel_for is rethrown on the calling thread after all chunks
+//    finish; submit() propagates through the returned future.
+#pragma once
+
+#include <cstddef>
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tka::runtime {
+
+/// True on a thread currently executing a ThreadPool task. parallel_for
+/// uses this to degrade to inline execution instead of deadlocking on
+/// nested waits.
+bool on_pool_thread();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 and 1 both mean "no workers" (every
+  /// parallel_for and submit runs inline on the calling thread).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains nothing: pending tasks are completed before the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 when the pool is inline-only).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns its future. With no workers the task runs
+  /// inline before returning (the future is already ready). Exceptions
+  /// surface through the future on get().
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Calls fn(i) for every i in [begin, end), partitioned into at most
+  /// `size() + 1` contiguous chunks (workers + the calling thread, which
+  /// always executes the first chunk itself); `max_lanes` > 0 lowers that
+  /// cap (the shared pool never shrinks, so a smaller --threads request
+  /// caps its fan-out here instead). Blocks until every index is done;
+  /// rethrows the first failing chunk's exception. Runs inline, in index
+  /// order, when the pool has no workers, the range is a single index, or
+  /// the caller is itself a pool worker.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                    std::size_t max_lanes = 0) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    std::size_t lanes = size() + 1;
+    if (max_lanes > 0 && max_lanes < lanes) lanes = max_lanes;
+    if (lanes <= 1 || n == 1 || on_pool_thread()) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    const std::size_t chunks = n < lanes ? n : lanes;
+    // Static partition: chunk c covers [begin + c*q + min(c, r), ...) where
+    // q = n / chunks, r = n % chunks — the first r chunks get one extra.
+    const std::size_t q = n / chunks;
+    const std::size_t r = n % chunks;
+    auto chunk_begin = [&](std::size_t c) {
+      return begin + c * q + (c < r ? c : r);
+    };
+    std::vector<std::exception_ptr> errors(chunks);
+    std::atomic<std::size_t> remaining{chunks - 1};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    auto run_chunk = [&](std::size_t c) {
+      const std::size_t lo = chunk_begin(c);
+      const std::size_t hi = chunk_begin(c + 1);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    };
+    for (std::size_t c = 1; c < chunks; ++c) {
+      enqueue([&, c]() {
+        run_chunk(c);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          done_cv.notify_one();
+        }
+      });
+    }
+    run_chunk(0);
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&]() {
+        return remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tka::runtime

@@ -1,0 +1,19 @@
+#include "runtime/wavefront.hpp"
+
+#include <algorithm>
+
+#include "net/topo.hpp"
+
+namespace tka::runtime {
+
+Wavefront::Wavefront(const net::Netlist& nl) : level_of_(net::net_levels(nl)) {
+  int max_level = -1;
+  for (int lv : level_of_) max_level = std::max(max_level, lv);
+  levels_.resize(static_cast<std::size_t>(max_level + 1));
+  // Ascending net id within each level: iterate ids in order and append.
+  for (net::NetId n = 0; n < level_of_.size(); ++n) {
+    levels_[static_cast<std::size_t>(level_of_[n])].push_back(n);
+  }
+}
+
+}  // namespace tka::runtime

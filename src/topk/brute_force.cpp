@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/runtime.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -26,46 +27,73 @@ std::optional<BruteForceResult> brute_force_topk(
   result.delay = addition ? -std::numeric_limits<double>::infinity()
                           : std::numeric_limits<double>::infinity();
 
+  const int threads = runtime::resolve_threads(opt.threads);
+  // Each worker runs one whole fixpoint; keep the inner relaxation sweep
+  // serial so a batch does not oversubscribe the pool.
+  noise::IterativeOptions iter_opt = opt.iterative;
+  if (threads > 1) iter_opt.threads = 1;
+
   auto evaluate = [&](const std::vector<size_t>& combo) {
     noise::CouplingMask mask = addition
                                    ? noise::CouplingMask::none(par.num_couplings())
                                    : noise::CouplingMask::all(par.num_couplings());
     for (size_t idx : combo) mask.set(pool[idx], addition);
     const noise::NoiseReport rep =
-        noise::analyze_iterative(nl, par, model, calc, mask, opt.iterative);
+        noise::analyze_iterative(nl, par, model, calc, mask, iter_opt);
+    return rep.noisy_delay;
+  };
+  auto record = [&](const std::vector<size_t>& combo, double delay) {
     ++result.subsets_evaluated;
-    const bool better = addition ? rep.noisy_delay > result.delay
-                                 : rep.noisy_delay < result.delay;
+    const bool better =
+        addition ? delay > result.delay : delay < result.delay;
     if (better) {
-      result.delay = rep.noisy_delay;
+      result.delay = delay;
       result.members.clear();
       for (size_t idx : combo) result.members.push_back(pool[idx]);
       std::sort(result.members.begin(), result.members.end());
     }
   };
 
-  // Lexicographic combination enumeration.
+  // Lexicographic combination enumeration, in batches of independent
+  // fixpoint evaluations. The winner is reduced in enumeration order on
+  // the calling thread (strict-better, first wins), so the reported set
+  // and delay match the serial scan for any thread count. Batch size 1
+  // when serial keeps the per-combination timeout granularity of old.
+  const size_t batch_cap = threads > 1 ? static_cast<size_t>(threads) * 4 : 1;
   std::vector<size_t> combo(k);
   for (size_t i = 0; i < k; ++i) combo[i] = i;
-  for (;;) {
+  std::vector<std::vector<size_t>> batch;
+  std::vector<double> delays;
+  bool exhausted = false;
+  while (!exhausted) {
     if (timer.seconds() > opt.timeout_s) {
       result.timed_out = true;
       break;
     }
-    evaluate(combo);
-    // Advance to the next combination.
-    size_t pos = k;
-    while (pos > 0) {
-      --pos;
-      if (combo[pos] != pos + r - k) break;
-      if (pos == 0) {
-        pos = k;  // exhausted
+    batch.clear();
+    while (batch.size() < batch_cap) {
+      batch.push_back(combo);
+      // Advance to the next combination.
+      size_t pos = k;
+      while (pos > 0) {
+        --pos;
+        if (combo[pos] != pos + r - k) break;
+        if (pos == 0) {
+          pos = k;  // exhausted
+          break;
+        }
+      }
+      if (pos == k) {
+        exhausted = true;
         break;
       }
+      ++combo[pos];
+      for (size_t j = pos + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
     }
-    if (pos == k) break;
-    ++combo[pos];
-    for (size_t j = pos + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+    delays.assign(batch.size(), 0.0);
+    runtime::parallel_for(threads, 0, batch.size(),
+                          [&](size_t bi) { delays[bi] = evaluate(batch[bi]); });
+    for (size_t bi = 0; bi < batch.size(); ++bi) record(batch[bi], delays[bi]);
   }
 
   result.runtime_s = timer.seconds();

@@ -19,6 +19,11 @@ struct BruteForceOptions {
   int k = 2;
   Mode mode = Mode::kAddition;
   double timeout_s = 1800.0;  ///< give up after this much wall time
+  /// Worker threads: combinations are evaluated in batches, one fixpoint
+  /// per worker, with the winner reduced in enumeration order — so the
+  /// reported set and delay are identical for any thread count. 0 = auto
+  /// (TKA_THREADS / hardware concurrency), 1 = serial.
+  int threads = 0;
   noise::IterativeOptions iterative;
 };
 

@@ -6,6 +6,8 @@
 
 #include "net/topo.hpp"
 #include "obs/obs.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/wavefront.hpp"
 #include "sta/critical_path.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -39,9 +41,15 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
   // All run timing below comes from the obs monotonic clock so TopkStats,
   // span durations and registry values agree with each other.
   const std::int64_t run_start_ns = obs::now_ns();
+  const int threads = runtime::resolve_threads(opt.threads);
+  // The fixpoints the engine itself launches (baseline, re-evaluation)
+  // inherit the run's worker count unless the caller pinned their own.
+  noise::IterativeOptions iter_opt = opt.iterative;
+  if (iter_opt.threads == 0) iter_opt.threads = threads;
   obs::ScopedSpan run_span("topk.run");
   run_span.arg("k", static_cast<std::int64_t>(opt.k))
-      .arg("mode", opt.mode == Mode::kAddition ? "addition" : "elimination");
+      .arg("mode", opt.mode == Mode::kAddition ? "addition" : "elimination")
+      .arg("threads", static_cast<std::int64_t>(threads));
 
   // Per-run metric handles, hoisted out of the hot loops. TopkStats counter
   // fields are populated from registry deltas at the end of the run (and
@@ -73,7 +81,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
   {
     obs::ScopedSpan baseline_span("topk.baseline");
     result.all_aggressor_report = noise::analyze_iterative(
-        *nl_, *par_, *model_, *calc_, mask_all, opt.iterative);
+        *nl_, *par_, *model_, *calc_, mask_all, iter_opt);
   }
   const noise::NoiseReport& all_rep = result.all_aggressor_report;
 
@@ -261,19 +269,47 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
   };
   std::vector<std::vector<SinkSet>> sink_lists(k + 1);
 
-  std::vector<layout::CapId> tmp_members;
+  // Victims within one topological level never feed each other's driver
+  // cone, so each level is one parallel batch with a barrier in between
+  // (runtime/wavefront.hpp). All cross-victim reads inside a batch are of
+  // completed earlier levels (fanins for pseudo propagation) or of
+  // barrier-published snapshots (elimination higher-order, below); every
+  // write lands in the victim's own pre-sized slot, and all reductions run
+  // on the calling thread in index order — so the result is bit-identical
+  // for every thread count, including the serial --threads 1 fallback
+  // which walks the same wavefront inline.
+  const runtime::Wavefront wavefront(*nl_);
+
+  // Elimination's higher-order atoms read the coupled aggressor's
+  // *current*-cardinality winner. Under the wavefront that winner is
+  // published at the aggressor's level barrier: aggressors at lower levels
+  // expose this sweep's winner, aggressors at the same or a higher level
+  // expose the previous sweep's (nothing yet in sweep 0). The snapshot is
+  // what makes this read race-free and thread-count independent.
+  struct BestSnap {
+    bool valid = false;
+    double score = -1.0;
+    std::vector<layout::CapId> members;
+  };
+  std::vector<BestSnap> ho_snap(addition ? 0 : num_nets);
+
   // Elimination needs a second sweep per cardinality: its indirect
   // (window-narrowing) atoms reference the aggressor net's *current*-
   // cardinality winner, which only exists after the first sweep when the
-  // aggressor follows the victim in topological order. Lists deduplicate,
+  // aggressor follows the victim in the level order. Lists deduplicate,
   // so the second sweep is a pure refinement.
   const int sweeps = addition ? 1 : 2;
   for (size_t i = 1; i <= k; ++i) {
     const std::int64_t card_start_ns = obs::now_ns();
     obs::ScopedSpan card_span(str::format("topk.cardinality.%zu", i));
-    std::vector<char> processed(num_nets, 0);
-    for (int sweep = 0; sweep < sweeps; ++sweep) {
-    for (net::NetId v : topo) {
+    for (BestSnap& s : ho_snap) s.valid = false;
+
+    // The per-victim body. Runs on pool workers; everything it touches is
+    // either read-only shared state, the victim's own slot, or the
+    // caller-merged out-params.
+    auto process_victim = [&](net::NetId v, size_t i, int sweep,
+                              PruneStats* prune_out, size_t* max_list_out) {
+      std::vector<layout::CapId> tmp_members;
       obs::ScopedSpan victim_span("topk.victim");
       if (victim_span.recording()) {
         victim_span.arg("net", nl_->net(v).name)
@@ -342,9 +378,11 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
           c_sets.add(1);
           list.try_add(std::move(cand));
         };
+        // Fanins sit at strictly lower levels, so their current-cardinality
+        // lists are complete by this level's barrier.
         for (size_t j = 0; j < g.inputs.size(); ++j) {
           const net::NetId u = g.inputs[j];
-          if (cur[u].empty() || !processed[u]) continue;
+          if (cur[u].empty()) continue;
           const size_t take = opt.propagate_full_ilist ? cur[u].size() : 1;
           for (size_t si = 0; si < take; ++si) {
             const CandidateSet& s = opt.propagate_full_ilist
@@ -367,7 +405,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
           std::unordered_map<std::uint64_t, Joint> joint;
           for (size_t j = 0; j < g.inputs.size(); ++j) {
             const net::NetId u = g.inputs[j];
-            if (cur[u].empty() || !processed[u]) continue;
+            if (cur[u].empty()) continue;
             for (const CandidateSet& s : cur[u].sets()) {
               if (s.score <= kShiftEps) continue;
               Joint& entry = joint[members_hash(s.members)];
@@ -447,11 +485,11 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
           } else {
             // Elimination: removing the aggressor's own worst i-set narrows
             // the aggressor window; the removed envelope is the trim of this
-            // cap's envelope (the cap itself stays). Needs the aggressor's
-            // current-cardinality winner, available when `a` precedes `v`.
-            if (!processed[a] || cur[a].empty()) continue;
-            const CandidateSet& s = cur[a].best();
-            if (s.score <= kShiftEps) continue;
+            // cap's envelope (the cap itself stays). Reads the aggressor's
+            // barrier-published snapshot (see ho_snap above), available when
+            // `a`'s level completed before `v`'s this sweep or last sweep.
+            const BestSnap& s = ho_snap[a];
+            if (!s.valid || s.score <= kShiftEps) continue;
             if (std::binary_search(s.members.begin(), s.members.end(), cap)) continue;
             const wave::Pwl& full_env = builder.envelope(v, cap);
             // Narrowed window: the aggressor's noisy LAT retreats by the
@@ -475,9 +513,9 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
       // Step 4: reduce to the irredundant list. The victim's own caps are
       // passed so each keeps an extension seed (see IList::reduce).
       list.reduce(iv[v], opt.dominance_tol, opt.beam_cap, opt.use_dominance,
-                  &result.stats.prune, active_caps[v]);
+                  prune_out, active_caps[v]);
       h_ilist.observe(static_cast<double>(list.size()));
-      result.stats.max_list_size = std::max(result.stats.max_list_size, list.size());
+      *max_list_out = std::max(*max_list_out, list.size());
 
       // Step 5: record the per-victim winner of this cardinality.
       if (!list.empty()) {
@@ -485,8 +523,38 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
         winner_score[v][i] = best.score;
         winner_members[v][i] = best.members;
       }
-      processed[v] = 1;
-    }
+    };
+
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      for (size_t lvl = 0; lvl < wavefront.num_levels(); ++lvl) {
+        const std::span<const net::NetId> batch = wavefront.level(lvl);
+        std::vector<PruneStats> batch_prune(batch.size());
+        std::vector<size_t> batch_max(batch.size(), 0);
+        runtime::parallel_for(threads, 0, batch.size(), [&](size_t bi) {
+          process_victim(batch[bi], i, sweep, &batch_prune[bi], &batch_max[bi]);
+        });
+        // Deterministic reductions on the calling thread, in index order.
+        for (size_t bi = 0; bi < batch.size(); ++bi) {
+          result.stats.prune.considered += batch_prune[bi].considered;
+          result.stats.prune.removed_dominated += batch_prune[bi].removed_dominated;
+          result.stats.prune.removed_beam += batch_prune[bi].removed_beam;
+          result.stats.max_list_size =
+              std::max(result.stats.max_list_size, batch_max[bi]);
+        }
+        // Publish this level's winners for elimination's higher-order reads.
+        if (!addition) {
+          for (net::NetId v : batch) {
+            BestSnap& s = ho_snap[v];
+            if (cur[v].empty()) {
+              s.valid = false;
+              continue;
+            }
+            s.valid = true;
+            s.score = cur[v].best().score;
+            s.members = cur[v].best().members;
+          }
+        }
+      }
     }
 
     // Sink selection for cardinality i.
@@ -658,7 +726,7 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
   result.evaluated_delay = result.estimated_delay;
   if (opt.reevaluate && !result.members.empty()) {
     obs::ScopedSpan reevaluate_span("topk.reevaluate");
-    result.evaluated_delay = evaluate_set(result.members, opt.mode, opt.iterative);
+    result.evaluated_delay = evaluate_set(result.members, opt.mode, iter_opt);
     if (opt.rerank_top > 0) {
       // Exact re-ranking: the estimator is first-order (it does not re-run
       // the window fixpoint per candidate), so evaluate the best few
@@ -689,17 +757,27 @@ TopkResult TopkEngine::run(const TopkOptions& opt) const {
           if (finalists.size() >= opt.rerank_top) break;
         }
       }
-      for (const auto* members : finalists) {
-        const double d = evaluate_set(*members, opt.mode, opt.iterative);
+      // Evaluate finalists in parallel (each fixpoint serial to avoid
+      // oversubscription), then pick the winner in index order so the
+      // strict-better / first-wins tie-breaking matches the serial loop.
+      noise::IterativeOptions finalist_opt = iter_opt;
+      finalist_opt.threads = 1;
+      std::vector<double> finalist_delay(finalists.size(), 0.0);
+      runtime::parallel_for(threads, 0, finalists.size(), [&](size_t fi) {
+        finalist_delay[fi] = evaluate_set(*finalists[fi], opt.mode, finalist_opt);
+      });
+      for (size_t fi = 0; fi < finalists.size(); ++fi) {
+        const double d = finalist_delay[fi];
         const bool better = addition ? d > result.evaluated_delay
                                      : d < result.evaluated_delay;
         if (better) {
           result.evaluated_delay = d;
-          result.members = *members;
+          result.members = *finalists[fi];
         }
       }
     }
   }
+  result.stats.threads = threads;
   result.stats.runtime_s = obs::ns_to_seconds(obs::now_ns() - run_start_ns);
 
   // Publish the per-run prune tallies and fill the counter-derived stats

@@ -33,6 +33,13 @@ struct TopkOptions {
   int k = 10;
   Mode mode = Mode::kAddition;
 
+  /// Worker threads for the level-wavefront victim sweep, the baseline /
+  /// re-evaluation fixpoints and the finalist re-ranking. 0 = resolve from
+  /// TKA_THREADS, then hardware concurrency (see runtime/runtime.hpp);
+  /// 1 = exact serial execution through the same code path. Results are
+  /// bit-identical for every thread count.
+  int threads = 0;
+
   bool use_dominance = true;        ///< ablation: Pareto pruning on/off
   bool use_pseudo = true;           ///< ablation: fanin propagation on/off
   bool use_higher_order = true;     ///< ablation: indirect aggressors on/off
@@ -79,6 +86,7 @@ struct TopkOptions {
 /// TKA_OBS_DISABLED; the timing fields and `max_list_size`/`prune` are
 /// always populated.
 struct TopkStats {
+  int threads = 1;            ///< resolved worker count the run used
   size_t sets_generated = 0;  ///< candidate sets scored (registry-backed)
   size_t max_list_size = 0;   ///< largest I-list seen after reduction
   PruneStats prune;           ///< dominance/beam removal tallies

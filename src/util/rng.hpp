@@ -15,16 +15,16 @@ namespace tka {
 /// stable everywhere.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) {
-    // splitmix64 to spread the seed over the full state.
-    std::uint64_t x = seed;
-    for (auto& word : state_) {
-      x += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      word = z ^ (z >> 31);
-    }
+  explicit Rng(std::uint64_t seed) { init(seed); }
+
+  /// Independent per-task stream: Rng(seed, s) for distinct `s` yields
+  /// decorrelated sequences from one base seed, so parallel loops can give
+  /// every index its own generator with results independent of execution
+  /// order (and of the thread count). The stream id is diffused through
+  /// splitmix64 before being folded into the seed, so stream n is NOT the
+  /// plain Rng(seed + n) and stream 0 is not Rng(seed).
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    init(seed ^ mix(stream + 0x6A09E667F3BCC909ULL));
   }
 
   /// Next raw 64-bit value.
@@ -75,6 +75,22 @@ class Rng {
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  // splitmix64 finalizer.
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  void init(std::uint64_t seed) {
+    // splitmix64 to spread the seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      word = mix(x);
+    }
   }
 
   std::uint64_t state_[4];

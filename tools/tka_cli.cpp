@@ -8,7 +8,10 @@
 //   tka paths    <netlist> [--spef F] [-n N]     worst timing paths
 //   tka convert  <netlist> --out F.v|F.bench|F.dot
 //
-// Observability flags (every command):
+// Flags shared by every command:
+//   --threads N           worker threads for analyze/topk (0 = auto: the
+//                         TKA_THREADS env var, then hardware concurrency;
+//                         1 = serial; results are identical for any N)
 //   --trace FILE.json     record spans; write Chrome trace-event JSON
 //                         (open in chrome://tracing or ui.perfetto.dev)
 //   --metrics FILE.json   write the metrics registry + span summary JSON
@@ -55,6 +58,7 @@ struct Args {
   std::string metrics_path;  // --metrics: registry + span summary JSON
   int k = 10;
   int num_paths = 5;
+  int threads = 0;  // --threads: 0 = auto (TKA_THREADS, then hw concurrency)
   double clock_ns = 0.0;  // 0 = unconstrained
   topk::Mode mode = topk::Mode::kElimination;
 };
@@ -63,7 +67,7 @@ struct Args {
   std::fprintf(stderr,
                "usage: tka <analyze|topk|glitch|paths|convert> <netlist> "
                "[--spef F] [--clock T] [-k N] [--mode add|elim] [-n N] "
-               "[--out F] [--trace F.json] [--metrics F.json] "
+               "[--threads N] [--out F] [--trace F.json] [--metrics F.json] "
                "[--log-level debug|info|warn|error|off]\n");
   std::exit(2);
 }
@@ -93,6 +97,9 @@ Args parse_args(int argc, char** argv) {
       args.k = std::atoi(next().c_str());
     } else if (a == "-n") {
       args.num_paths = std::atoi(next().c_str());
+    } else if (a == "--threads") {
+      args.threads = std::atoi(next().c_str());
+      if (args.threads < 0) usage();
     } else if (a == "--out") {
       args.out_path = next();
     } else if (a == "--clock") {
@@ -135,8 +142,12 @@ int cmd_analyze(const Args& args) {
   const layout::Parasitics par = load_or_extract(args, *nl);
   sta::DelayModel model(*nl, par);
   noise::AnalyticCouplingCalculator calc(par, model);
-  const noise::NoiseReport rep = noise::analyze_iterative(
-      *nl, par, model, calc, noise::CouplingMask::all(par.num_couplings()));
+  noise::IterativeOptions iter_opt;
+  iter_opt.threads = args.threads;
+  const noise::NoiseReport rep =
+      noise::analyze_iterative(*nl, par, model, calc,
+                               noise::CouplingMask::all(par.num_couplings()),
+                               iter_opt);
   std::printf("design        : %s\n", nl->name().c_str());
   std::printf("gates / nets  : %zu / %zu\n", nl->num_gates(), nl->num_nets());
   std::printf("couplings     : %zu\n", par.num_couplings());
@@ -169,6 +180,7 @@ int cmd_topk(const Args& args) {
   topk::TopkOptions opt;
   opt.k = args.k;
   opt.mode = args.mode;
+  opt.threads = args.threads;
   const topk::TopkResult res = engine.run(opt);
   std::printf("top-%d %s set (baseline %.4f ns -> %.4f ns):\n", args.k,
               args.mode == topk::Mode::kAddition ? "addition" : "elimination",
@@ -178,8 +190,9 @@ int cmd_topk(const Args& args) {
     std::printf("  %-20s ~ %-20s %8.5f pF\n", nl->net(cc.net_a).name.c_str(),
                 nl->net(cc.net_b).name.c_str(), cc.cap_pf);
   }
-  std::printf("engine: %.3f s, %zu candidate sets, max list %zu\n",
-              res.stats.runtime_s, res.stats.sets_generated,
+  std::printf("engine: %.3f s (%d thread%s), %zu candidate sets, max list %zu\n",
+              res.stats.runtime_s, res.stats.threads,
+              res.stats.threads == 1 ? "" : "s", res.stats.sets_generated,
               res.stats.max_list_size);
   if (!args.out_path.empty()) {
     std::ofstream out(args.out_path);
