@@ -77,8 +77,11 @@ Tracer::ThreadBuffer& Tracer::this_thread_buffer() {
 std::int64_t Tracer::begin_span(std::string_view name, std::int64_t start_ns) {
   if (!enabled()) return -1;
   ThreadBuffer& tb = this_thread_buffer();
-  const std::uint32_t gen = generation_.load(std::memory_order_acquire);
   std::lock_guard<std::mutex> lock(tb.mu);
+  // Sample the generation only after acquiring tb.mu: a pre-lock load
+  // could race with clear(), rewind tb.generation to the stale value and
+  // leak this event into the post-clear stream.
+  const std::uint32_t gen = generation_.load(std::memory_order_acquire);
   if (tb.generation != gen) {  // clear() ran since this thread last recorded
     tb.generation = gen;
     tb.events.clear();
@@ -104,7 +107,14 @@ void Tracer::end_span(std::int64_t token, std::int64_t dur_ns,
   std::lock_guard<std::mutex> lock(tb.mu);
   const std::uint32_t gen = static_cast<std::uint32_t>(token >> 32);
   const std::int32_t index = static_cast<std::int32_t>(token & 0xffffffff);
-  if (gen != tb.generation) return;  // clear() happened while the span was open
+  // A clear() while the span was open bumps the generation, or — when it
+  // raced with begin_span sampling the already-bumped generation — leaves
+  // the generation matching but the event discarded; both mean the token
+  // no longer refers to a live event.
+  if (gen != tb.generation ||
+      static_cast<std::size_t>(index) >= tb.events.size()) {
+    return;
+  }
   tb.events[static_cast<std::size_t>(index)].dur_ns = dur_ns;
   tb.events[static_cast<std::size_t>(index)].args_json = std::move(args_json);
   if (!tb.open.empty() && tb.open.back() == index) tb.open.pop_back();

@@ -25,7 +25,11 @@ ThreadPool& pool(int threads) {
   // its idle workers cost nothing and growth events are rare (the pool
   // only ever steps up to the largest count ever requested).
   static ThreadPool* current = nullptr;
-  const std::size_t want = threads > 1 ? static_cast<std::size_t>(threads) : 0;
+  // `threads` counts lanes including the calling thread (parallel_for's
+  // chunk 0 always runs on the caller), so an N-thread request needs only
+  // N - 1 pool workers to put exactly N threads to work.
+  const std::size_t want =
+      threads > 1 ? static_cast<std::size_t>(threads) - 1 : 0;
   std::lock_guard<std::mutex> lock(mu);
   if (current == nullptr || current->size() < want) {
     current = new ThreadPool(want);

@@ -20,7 +20,8 @@ namespace tka::runtime {
 /// concurrency (at least 1).
 int resolve_threads(int requested);
 
-/// The shared pool, sized for `threads` (a resolved count). The pool is
+/// The shared pool, sized for `threads` (a resolved count): `threads - 1`
+/// workers, since the calling thread is always a lane itself. The pool is
 /// created on first use and grown when a larger request arrives; it never
 /// shrinks (idle workers cost nothing and callers cap their own fan-out via
 /// parallel_for's chunking). Thread-safe.

@@ -9,10 +9,9 @@ thread_local bool t_on_pool_thread = false;
 
 bool on_pool_thread() { return t_on_pool_thread; }
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads <= 1) return;
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this]() { worker_loop(); });
   }
 }

@@ -22,7 +22,6 @@
 
 #include <cstddef>
 
-#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -44,9 +43,11 @@ bool on_pool_thread();
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers; 0 and 1 both mean "no workers" (every
-  /// parallel_for and submit runs inline on the calling thread).
-  explicit ThreadPool(std::size_t threads);
+  /// Spawns `workers` worker threads; 0 means "no workers" (every
+  /// parallel_for and submit runs inline on the calling thread). The
+  /// calling thread is always an execution lane of its own, so a pool
+  /// serving an N-thread request needs only N - 1 workers.
+  explicit ThreadPool(std::size_t workers);
 
   /// Drains nothing: pending tasks are completed before the workers join.
   ~ThreadPool();
@@ -97,7 +98,12 @@ class ThreadPool {
       return begin + c * q + (c < r ? c : r);
     };
     std::vector<std::exception_ptr> errors(chunks);
-    std::atomic<std::size_t> remaining{chunks - 1};
+    // `remaining` is guarded by done_mu rather than being atomic: the
+    // decrement-and-check and the caller's wait predicate must exclude
+    // each other, otherwise the caller could observe zero and return —
+    // destroying these stack locals — while the finishing worker is
+    // still about to lock done_mu and notify.
+    std::size_t remaining = chunks - 1;
     std::mutex done_mu;
     std::condition_variable done_cv;
     auto run_chunk = [&](std::size_t c) {
@@ -112,18 +118,14 @@ class ThreadPool {
     for (std::size_t c = 1; c < chunks; ++c) {
       enqueue([&, c]() {
         run_chunk(c);
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> lock(done_mu);
-          done_cv.notify_one();
-        }
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
       });
     }
     run_chunk(0);
     {
       std::unique_lock<std::mutex> lock(done_mu);
-      done_cv.wait(lock, [&]() {
-        return remaining.load(std::memory_order_acquire) == 0;
-      });
+      done_cv.wait(lock, [&]() { return remaining == 0; });
     }
     for (std::exception_ptr& e : errors) {
       if (e) std::rethrow_exception(e);

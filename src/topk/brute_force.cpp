@@ -1,6 +1,7 @@
 #include "topk/brute_force.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "runtime/runtime.hpp"
 #include "util/assert.hpp"
@@ -33,14 +34,26 @@ std::optional<BruteForceResult> brute_force_topk(
   noise::IterativeOptions iter_opt = opt.iterative;
   if (threads > 1) iter_opt.threads = 1;
 
-  auto evaluate = [&](const std::vector<size_t>& combo) {
+  // The timeout is polled inside each evaluation task, not just between
+  // batches: with threads > 1 a batch holds up to threads*4 fixpoints
+  // (each potentially seconds on large designs), so a between-batches-only
+  // check could overshoot opt.timeout_s by a whole batch. Returns false
+  // without evaluating once the deadline has passed.
+  std::atomic<bool> deadline_hit{false};
+  auto evaluate = [&](const std::vector<size_t>& combo, double& delay) {
+    if (deadline_hit.load(std::memory_order_relaxed) ||
+        timer.seconds() > opt.timeout_s) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return false;
+    }
     noise::CouplingMask mask = addition
                                    ? noise::CouplingMask::none(par.num_couplings())
                                    : noise::CouplingMask::all(par.num_couplings());
     for (size_t idx : combo) mask.set(pool[idx], addition);
     const noise::NoiseReport rep =
         noise::analyze_iterative(nl, par, model, calc, mask, iter_opt);
-    return rep.noisy_delay;
+    delay = rep.noisy_delay;
+    return true;
   };
   auto record = [&](const std::vector<size_t>& combo, double delay) {
     ++result.subsets_evaluated;
@@ -64,9 +77,11 @@ std::optional<BruteForceResult> brute_force_topk(
   for (size_t i = 0; i < k; ++i) combo[i] = i;
   std::vector<std::vector<size_t>> batch;
   std::vector<double> delays;
+  std::vector<char> evaluated;
   bool exhausted = false;
   while (!exhausted) {
-    if (timer.seconds() > opt.timeout_s) {
+    if (deadline_hit.load(std::memory_order_relaxed) ||
+        timer.seconds() > opt.timeout_s) {
       result.timed_out = true;
       break;
     }
@@ -91,10 +106,15 @@ std::optional<BruteForceResult> brute_force_topk(
       for (size_t j = pos + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
     }
     delays.assign(batch.size(), 0.0);
-    runtime::parallel_for(threads, 0, batch.size(),
-                          [&](size_t bi) { delays[bi] = evaluate(batch[bi]); });
-    for (size_t bi = 0; bi < batch.size(); ++bi) record(batch[bi], delays[bi]);
+    evaluated.assign(batch.size(), 0);
+    runtime::parallel_for(threads, 0, batch.size(), [&](size_t bi) {
+      evaluated[bi] = evaluate(batch[bi], delays[bi]) ? 1 : 0;
+    });
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      if (evaluated[bi]) record(batch[bi], delays[bi]);
+    }
   }
+  if (deadline_hit.load(std::memory_order_relaxed)) result.timed_out = true;
 
   result.runtime_s = timer.seconds();
   return result;

@@ -27,7 +27,7 @@ TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
 }
 
 TEST(ThreadPool, SubmitRunsInlineWithoutWorkers) {
-  ThreadPool pool(1);
+  ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 0u);
   std::atomic<int> ran{0};
   auto f = pool.submit([&]() { ran.store(1); });
@@ -157,10 +157,11 @@ TEST(Runtime, ResolveThreadsPrecedence) {
 }
 
 TEST(Runtime, SharedPoolGrowsAndCapsFanout) {
+  // pool(n) serves n lanes with the caller as one of them: n - 1 workers.
   ThreadPool& small = pool(2);
-  EXPECT_GE(small.size(), 2u);
+  EXPECT_GE(small.size(), 1u);
   ThreadPool& big = pool(6);
-  EXPECT_GE(big.size(), 6u);
+  EXPECT_GE(big.size(), 5u);
   // A later, smaller request reuses the grown pool; parallel_for caps the
   // fan-out instead of shrinking it. Just exercise the path.
   std::vector<int> hits(64, 0);
