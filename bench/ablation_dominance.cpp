@@ -5,6 +5,9 @@
 // unbounded-beam run the list explosion is visible directly. Dominance is
 // exactness-preserving, so the chosen sets should not get better when it
 // is disabled.
+//
+// Harness cases: <ckt>/dominance_{on,off} for the bounded-beam sweep plus
+// i1_beam0/dominance_{on,off} for the unbounded demonstration.
 #include <cstdio>
 
 #include "common.hpp"
@@ -13,19 +16,30 @@ using namespace tka;
 
 namespace {
 
-void run_circuit(const std::string& name, int k, size_t beam) {
+void run_circuit(bench::Harness& h, const std::string& name, int k, size_t beam,
+                 const std::string& case_prefix) {
   bench::Design d = bench::build_design(name);
   for (bool dominance : {true, false}) {
-    topk::TopkOptions opt = bench::engine_options(d, k, topk::Mode::kAddition);
-    opt.use_dominance = dominance;
-    opt.beam_cap = beam;
-    Timer t;
-    const topk::TopkResult res = d.engine->run(opt);
-    const double runtime = t.seconds();
-    const double delay = bench::evaluate(d, res.members, topk::Mode::kAddition);
-    std::printf("%-4s k=%2d beam=%3zu dominance=%-3s | delay=%.4f runtime=%7.3fs "
+    topk::TopkResult res;
+    double delay = 0.0;
+    const std::string case_name =
+        case_prefix + (dominance ? "/dominance_on" : "/dominance_off");
+    const bool ran = h.run_case(case_name, [&](bench::Reporter& r) {
+      topk::TopkOptions opt = bench::engine_options(d, k, topk::Mode::kAddition);
+      opt.use_dominance = dominance;
+      opt.beam_cap = beam;
+      res = d.engine->run(opt);
+      delay = bench::evaluate(d, res.members, topk::Mode::kAddition);
+      r.value("delay", delay);
+      r.value("sets_generated", static_cast<double>(res.stats.sets_generated));
+      r.value("max_list_size", static_cast<double>(res.stats.max_list_size));
+      r.value("pruned_dominated",
+              static_cast<double>(res.stats.prune.removed_dominated));
+    });
+    if (!ran) continue;
+    std::printf("%-4s k=%2d beam=%3zu dominance=%-3s | delay=%.4f "
                 "sets=%9zu max_list=%6zu pruned_dom=%9zu\n",
-                name.c_str(), k, beam, dominance ? "on" : "off", delay, runtime,
+                name.c_str(), k, beam, dominance ? "on" : "off", delay,
                 res.stats.sets_generated, res.stats.max_list_size,
                 res.stats.prune.removed_dominated);
     std::fflush(stdout);
@@ -34,21 +48,23 @@ void run_circuit(const std::string& name, int k, size_t beam) {
 
 }  // namespace
 
-int main() {
-  bench::obs_begin();
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "ablation_dominance");
   std::printf("Ablation: dominance pruning on/off (addition mode)\n\n");
   const int k = bench::scale() == 0 ? 6 : 10;
+  const std::vector<std::string> circuits =
+      bench::scale() == 0 ? std::vector<std::string>{"i1", "i2"}
+                          : std::vector<std::string>{"i1", "i2", "i3"};
   // Bounded beam: dominance halves the candidate generation downstream
   // (compare `sets=`), though with a tight beam the beam alone is already
   // a strong limiter.
-  for (const char* name : {"i1", "i2", "i3"}) run_circuit(name, k, 24);
+  for (const std::string& name : circuits) run_circuit(h, name, k, 24, name);
   // Unbounded beam on the smallest circuit: this is where dominance is
   // structural — without it the lists explode to the emergency cap.
   std::printf("\nUnbounded beam (i1): list growth without dominance\n");
-  run_circuit("i1", 3, 0);
+  run_circuit(h, "i1", 3, 0, "i1_beam0");
   std::printf("\nExpected shape: comparable delays; with dominance the "
               "I-lists stay small (paper §3.2),\nwithout it and without a "
               "beam they explode (bounded only by the emergency cap).\n");
-  bench::obs_finish();
-  return 0;
+  return h.finish();
 }

@@ -1,0 +1,57 @@
+// Regression comparison between two BENCH_*.json documents (a committed
+// baseline vs a fresh run). Library form of tools/bench_compare so tests
+// can drive it directly.
+//
+// Per-metric-class relative thresholds; a negative threshold disables the
+// class entirely:
+//   time      fail when candidate median exceeds baseline median by more
+//             than `time_threshold` (relative; speedups always pass)
+//   values    fail when a value drifts from the baseline by more than
+//             `value_threshold` in either direction (results are
+//             deterministic; any drift is a behavior change)
+//   counters  fail when a counter grows by more than `counter_threshold`
+//             (relative; decreases — less work — always pass)
+// A benchmark present in the baseline but missing from the candidate is a
+// regression (coverage loss); extra candidate benchmarks are noted only.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+
+namespace tka::bench {
+
+struct CompareOptions {
+  double time_threshold = 0.15;
+  double value_threshold = 1e-6;
+  double counter_threshold = 0.10;
+};
+
+struct CompareResult {
+  /// Hard errors (unreadable file, schema mismatch, different suites or
+  /// scales). When set, the comparison did not run; exit code 2.
+  std::string error;
+  int benchmarks_compared = 0;
+  int metrics_compared = 0;
+  std::vector<std::string> regressions;
+  std::vector<std::string> notes;
+
+  bool usable() const { return error.empty(); }
+  bool ok() const { return usable() && regressions.empty(); }
+};
+
+/// Compares two parsed BENCH documents.
+CompareResult compare_bench_documents(const json::Value& base,
+                                      const json::Value& candidate,
+                                      const CompareOptions& opt);
+
+/// Loads, compares and reports `base_path` vs `candidate_path`, writing a
+/// human-readable report to `out`. Returns the process exit code:
+/// 0 = no regression, 1 = regression, 2 = unusable input.
+int compare_bench_files(const std::string& base_path,
+                        const std::string& candidate_path,
+                        const CompareOptions& opt, std::ostream& out);
+
+}  // namespace tka::bench

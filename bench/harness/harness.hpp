@@ -1,0 +1,141 @@
+// The benchmark harness: one object per bench binary (= one *suite*) that
+// owns CLI parsing, the warmup/repetition loop, per-rep timing, metric
+// counter capture, and the machine-readable BENCH_<suite>.json emission.
+//
+// Usage in a bench main:
+//
+//   int main(int argc, char** argv) {
+//     bench::Harness h(argc, argv, "table2_addition");
+//     for (const std::string& name : bench::suite_circuits()) {
+//       Design d = build_design(name);          // setup, untimed
+//       h.run_case(name, [&](bench::Reporter& r) {
+//         ... timed work ...
+//         r.value("delay_k5", delay);           // deterministic results
+//       });
+//       ... print the human-readable table row ...
+//     }
+//     return h.finish();                        // writes the JSON
+//   }
+//
+// Common flags (every suite accepts them):
+//   --smoke            smoke tier: scale 0, reps 1, warmup 0 (each still
+//                      overridable by an explicit --scale/--reps/--warmup)
+//   --scale N          0 quick / 1 default / 2 full (default: TKA_BENCH_SCALE)
+//   --reps N           timed repetitions per case (default 3; smoke 1)
+//   --warmup N         untimed warmup runs per case (default 1; smoke 0)
+//   --threads N        worker threads (exports TKA_THREADS so every layer
+//                      resolves the same count; 1 = exact serial)
+//   --out FILE         result path (default BENCH_<suite>.json in the cwd)
+//   --filter SUBSTR    only run cases whose name contains SUBSTR
+//   --list             print case names without running them
+// Environment: TKA_BENCH_SCALE, TKA_THREADS, TKA_LOG, TKA_BENCH_TRACE,
+// TKA_BENCH_METRICS keep working exactly as before (flags win over env).
+//
+// The JSON schema is versioned (kBenchSchemaVersion) and documented
+// field-by-field in docs/BENCHMARKING.md; tools/bench_compare diffs two
+// such files and gates on regressions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "harness/stats.hpp"
+
+namespace tka::bench {
+
+/// Version of the BENCH_*.json layout. Bump on any incompatible change
+/// and document the migration in docs/BENCHMARKING.md.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Parsed harness configuration (CLI flags over environment defaults).
+struct HarnessConfig {
+  std::string suite;
+  int scale = 1;
+  bool smoke = false;
+  int reps = 3;
+  int warmup = 1;
+  int threads = 0;  ///< 0 = TKA_THREADS / hardware; >0 explicit
+  std::string out_path;
+  std::string filter;
+  bool list_only = false;
+};
+
+/// Handed to the case body each repetition; collects named scalar results
+/// (delays, set sizes, speedups...). Values land in the JSON and are
+/// diffed by bench_compare with a tight threshold, so report only
+/// deterministic quantities — never wall-clock readings (the harness
+/// times the body itself).
+class Reporter {
+ public:
+  /// Records `name` = `v` for the current case (last write wins, both
+  /// within a rep and across reps).
+  void value(std::string_view name, double v);
+
+ private:
+  friend class Harness;
+  std::vector<std::pair<std::string, double>> values_;
+};
+
+/// One case's outcome: timing summary over the reps, reported values, and
+/// the metric-counter increments observed during the last timed rep.
+struct CaseResult {
+  std::string name;
+  TimeStats time;
+  std::vector<std::pair<std::string, double>> values;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+class Harness {
+ public:
+  /// Parses flags (printing usage and exiting on `--help` or bad input),
+  /// applies TKA_LOG, arms the tracer when TKA_BENCH_TRACE/_METRICS are
+  /// set, and exports `--threads` via TKA_THREADS.
+  Harness(int argc, char* const* argv, std::string suite);
+
+  const HarnessConfig& config() const { return config_; }
+
+  /// Bench scale for sizing work (0/1/2). Free-standing bench::scale()
+  /// (common.hpp) reports the same value once a Harness exists.
+  int scale() const { return config_.scale; }
+
+  /// The resolved worker count case bodies should pass to engine options
+  /// (0 means "library default", which the harness already pinned via
+  /// TKA_THREADS when --threads was given).
+  int threads() const;
+
+  /// Runs one case: `warmup` untimed runs, then `reps` timed runs with
+  /// metric snapshots around each. Skipped silently when the name fails
+  /// --filter; only recorded when --list is active. Returns true when the
+  /// body actually ran (so callers know whether their captured locals
+  /// hold results to print).
+  bool run_case(const std::string& name, const std::function<void(Reporter&)>& fn);
+
+  /// Completed case results so far (filter-passing, non-list runs only).
+  const std::vector<CaseResult>& results() const { return results_; }
+
+  /// Writes the JSON document (and any TKA_BENCH_TRACE/_METRICS files),
+  /// prints the per-case summary, and returns the process exit code.
+  int finish();
+
+ private:
+  HarnessConfig config_;
+  std::vector<CaseResult> results_;
+  std::vector<std::string> listed_;
+  bool finished_ = false;
+};
+
+/// Writes `results` as a schema-versioned BENCH JSON document. Exposed
+/// separately so tests can exercise the writer without a Harness.
+std::string render_bench_json(const HarnessConfig& config,
+                              const std::vector<CaseResult>& results);
+
+/// Currently-active scale: the live Harness's --scale/--smoke if one
+/// exists, else TKA_BENCH_SCALE, else 1. Clamped to [0, 2].
+int active_scale();
+
+}  // namespace tka::bench

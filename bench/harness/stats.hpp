@@ -1,0 +1,55 @@
+// Repetition statistics for the benchmark harness: quantiles over the
+// per-rep wall-clock samples. Header-only so tools and tests can use the
+// same math without linking the harness runtime.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace tka::bench {
+
+/// Summary of one benchmark's timed repetitions, in seconds.
+struct TimeStats {
+  std::size_t reps = 0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Quantile `q` in [0, 1] of an ascending-sorted sample vector, by linear
+/// interpolation between closest ranks: rank = q * (n - 1). This is the
+/// common "type 7" estimator (numpy default); q = 0.5 is the textbook
+/// median for both odd and even n.
+inline double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+/// Full summary of a sample vector (unsorted input; copied internally).
+inline TimeStats summarize_samples(std::vector<double> samples) {
+  TimeStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.reps = samples.size();
+  s.median = quantile_sorted(samples, 0.5);
+  s.p10 = quantile_sorted(samples, 0.10);
+  s.p90 = quantile_sorted(samples, 0.90);
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+}  // namespace tka::bench

@@ -1,0 +1,61 @@
+// Parallel scaling of the top-k engine (docs/PARALLELISM.md): the same
+// addition-mode run at 1, 2 and 4 worker threads. Times track wall-clock
+// speedup; the reported delays must be bit-identical across thread counts
+// (the runtime's core contract), so the delay values double as a
+// determinism gate — bench_compare across two files at *any* thread
+// configuration must find identical delays.
+//
+// Harness cases: <ckt>/t<threads>. The explicit per-case thread count
+// overrides --threads/TKA_THREADS for the engine run (resolution order,
+// runtime/runtime.hpp).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace tka;
+
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "parallel_scaling");
+  const std::vector<int> thread_counts =
+      bench::scale() == 0 ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  const std::vector<std::string> circuits =
+      bench::scale() == 0 ? std::vector<std::string>{"i2"}
+                          : std::vector<std::string>{"i2", "i5"};
+  const int k = bench::scale() == 0 ? 8 : 20;
+
+  std::printf("Parallel scaling: engine run (addition, k=%d) per thread "
+              "count\n\n", k);
+
+  for (const std::string& name : circuits) {
+    bench::Design d = bench::build_design(name);
+    double serial_median = 0.0;
+    for (const int threads : thread_counts) {
+      double delay = 0.0, estimated = 0.0;
+      const bool ran = h.run_case(str::format("%s/t%d", name.c_str(), threads),
+                                  [&](bench::Reporter& r) {
+        topk::TopkOptions opt =
+            bench::engine_options(d, k, topk::Mode::kAddition);
+        opt.threads = threads;
+        opt.iterative.threads = threads;
+        opt.reevaluate = true;  // the final fixpoint is a parallel phase too
+        const topk::TopkResult res = d.engine->run(opt);
+        delay = res.evaluated_delay;
+        estimated = res.estimated_delay;
+        r.value("evaluated_delay", delay);
+        r.value("estimated_delay", estimated);
+      });
+      if (!ran) continue;
+      const double median = h.results().back().time.median;
+      if (threads == 1) serial_median = median;
+      std::printf("%-4s threads=%d: delay=%.6f median=%.3fs speedup=%.2fx\n",
+                  name.c_str(), threads, delay, median,
+                  serial_median > 0.0 ? serial_median / median : 1.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: identical delays at every thread count "
+              "(bit-identical contract);\nspeedup tracks physical cores — "
+              "flat on a single-core host.\n");
+  return h.finish();
+}

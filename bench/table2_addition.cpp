@@ -6,50 +6,11 @@
 // §1/§3.4, the addition curve starts at the no-aggressor delay and rises
 // toward the all-aggressor delay as k grows — matching the numbers the
 // paper prints under the "(b)" label (its two table captions are swapped).
-#include <cstdio>
-
+//
+// Shared driver: bench::run_table2 (common.hpp). Harness flags and the
+// BENCH_table2_addition.json schema: docs/BENCHMARKING.md.
 #include "common.hpp"
 
-using namespace tka;
-
-int main() {
-  bench::obs_begin();
-  const std::vector<int> ks = bench::suite_k_columns();
-  const int max_k = bench::suite_max_k();
-
-  std::printf("Table 2 (addition): circuit delay with only the top-k addition "
-              "set active\n\n");
-  std::printf("%-4s %6s %6s %6s | %9s", "ckt", "gates", "nets", "ccaps",
-              "no agg");
-  for (int k : ks) std::printf(" %8s%-2d", "k=", k);
-  std::printf(" %9s | runtime(s):", "all agg");
-  for (int k : ks) std::printf(" %8s%-2d", "k=", k);
-  std::printf("\n");
-
-  for (const std::string& name : bench::suite_circuits()) {
-    bench::Design d = bench::build_design(name);
-    topk::TopkOptions opt = bench::engine_options(d, max_k, topk::Mode::kAddition);
-    const topk::TopkResult res = d.engine->run(opt);
-
-    std::printf("%-4s %6zu %6zu %6zu | %9.4f", name.c_str(),
-                d.circuit.netlist->num_gates(), d.circuit.netlist->num_nets(),
-                d.circuit.parasitics.num_couplings(), res.baseline_delay);
-    double running = res.baseline_delay;
-    for (int k : ks) {
-      running = bench::evaluate_at_k(d, res, k, topk::Mode::kAddition, running);
-      std::printf(" %10.4f", running);
-    }
-    std::printf(" %9.4f |            ", res.reference_delay);
-    for (int k : ks) {
-      std::printf(" %10.3f", res.stats.runtime_by_k[static_cast<size_t>(k) - 1]);
-    }
-    std::printf("\n");
-    std::fflush(stdout);
-  }
-  std::printf("\nExpected shape (paper): delay rises from the no-aggressor "
-              "baseline toward the all-aggressor\ndelay as k grows; runtime "
-              "grows mildly (sub-exponentially) with k and with circuit "
-              "size.\n");
-  bench::obs_finish();
-  return 0;
+int main(int argc, char** argv) {
+  return tka::bench::run_table2(argc, argv, tka::topk::Mode::kAddition);
 }

@@ -6,50 +6,11 @@
 // all-aggressor delay and falls toward the no-aggressor delay as k grows —
 // matching the numbers the paper prints under its "(a)" label (the two
 // table captions in the paper are swapped).
-#include <cstdio>
-
+//
+// Shared driver: bench::run_table2 (common.hpp). Harness flags and the
+// BENCH_table2_elimination.json schema: docs/BENCHMARKING.md.
 #include "common.hpp"
 
-using namespace tka;
-
-int main() {
-  bench::obs_begin();
-  const std::vector<int> ks = bench::suite_k_columns();
-  const int max_k = bench::suite_max_k();
-
-  std::printf("Table 2 (elimination): circuit delay after fixing the top-k "
-              "elimination set\n\n");
-  std::printf("%-4s %6s %6s %6s | %9s", "ckt", "gates", "nets", "ccaps",
-              "all agg");
-  for (int k : ks) std::printf(" %8s%-2d", "k=", k);
-  std::printf(" %9s | runtime(s):", "no agg");
-  for (int k : ks) std::printf(" %8s%-2d", "k=", k);
-  std::printf("\n");
-
-  for (const std::string& name : bench::suite_circuits()) {
-    bench::Design d = bench::build_design(name);
-    topk::TopkOptions opt =
-        bench::engine_options(d, max_k, topk::Mode::kElimination);
-    const topk::TopkResult res = d.engine->run(opt);
-
-    std::printf("%-4s %6zu %6zu %6zu | %9.4f", name.c_str(),
-                d.circuit.netlist->num_gates(), d.circuit.netlist->num_nets(),
-                d.circuit.parasitics.num_couplings(), res.baseline_delay);
-    double running = res.baseline_delay;
-    for (int k : ks) {
-      running = bench::evaluate_at_k(d, res, k, topk::Mode::kElimination, running);
-      std::printf(" %10.4f", running);
-    }
-    std::printf(" %9.4f |            ", res.reference_delay);
-    for (int k : ks) {
-      std::printf(" %10.3f", res.stats.runtime_by_k[static_cast<size_t>(k) - 1]);
-    }
-    std::printf("\n");
-    std::fflush(stdout);
-  }
-  std::printf("\nExpected shape (paper): delay falls from the all-aggressor "
-              "baseline toward the no-aggressor\ndelay as k grows; fixing the "
-              "first few couplings buys the largest improvement.\n");
-  bench::obs_finish();
-  return 0;
+int main(int argc, char** argv) {
+  return tka::bench::run_table2(argc, argv, tka::topk::Mode::kElimination);
 }

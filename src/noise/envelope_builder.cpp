@@ -38,10 +38,14 @@ const wave::Pwl& EnvelopeBuilder::envelope(net::NetId victim, layout::CapId cap)
   {
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      cache_hits_.add();
+      return it->second;
+    }
   }
   // Build outside the lock; on a lost race try_emplace keeps the first
   // value (both are identical — build() is a pure function of the key).
+  cache_misses_.add();
   wave::Pwl env = build(victim, cap, 0.0);
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   auto [ins, _] = cache_.try_emplace(key, std::move(env));

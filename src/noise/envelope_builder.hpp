@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "noise/coupling_calc.hpp"
+#include "obs/metrics.hpp"
 #include "sta/timing_graph.hpp"
 #include "wave/envelope.hpp"
 
@@ -22,7 +23,12 @@ class EnvelopeBuilder {
  public:
   EnvelopeBuilder(const net::Netlist& nl, const layout::Parasitics& par,
                   const CouplingCalculator& calc, const sta::WindowTable& windows)
-      : nl_(&nl), par_(&par), calc_(&calc), windows_(&windows) {}
+      : nl_(&nl),
+        par_(&par),
+        calc_(&calc),
+        windows_(&windows),
+        cache_hits_(obs::registry().counter("noise.envelope_cache_hits")),
+        cache_misses_(obs::registry().counter("noise.envelope_cache_misses")) {}
 
   /// Trapezoidal envelope of `cap` on `victim` under the current windows.
   /// Cached; an extra `lat_extension` (>0 for higher-order aggressors)
@@ -61,6 +67,11 @@ class EnvelopeBuilder {
   // pure functions of the key, so a racing double-build is just discarded.
   mutable std::shared_mutex cache_mu_;
   std::unordered_map<std::uint64_t, wave::Pwl> cache_;
+  // Hit/miss tallies (relaxed atomics; no-ops with TKA_OBS_DISABLED).
+  // With several threads racing on a cold key the miss count can exceed
+  // the number of distinct keys — each racer builds once.
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
 };
 
 }  // namespace tka::noise

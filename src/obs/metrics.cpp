@@ -6,6 +6,22 @@
 
 #include "util/string_util.hpp"
 
+namespace tka::obs {
+
+MetricsSnapshot counters_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    delta.counters.emplace(name, value >= base ? value - base : 0);
+  }
+  delta.gauges = after.gauges;
+  return delta;
+}
+
+}  // namespace tka::obs
+
 #if TKA_OBS_ENABLED
 
 namespace tka::obs {
@@ -115,6 +131,14 @@ void MetricsRegistry::write_json_fields(std::ostream& out) const {
   out << (first ? "" : "\n  ") << "}";
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g->value());
+  return snap;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
@@ -134,7 +158,8 @@ void register_core_metrics() {
        {"topk.runs", "topk.sets_generated", "topk.dominance_pruned",
         "topk.beam_capped", "topk.generation_capped", "noise.fixpoint_runs",
         "noise.fixpoint_iterations", "noise.fixpoint_nonconverged",
-        "noise.filter_false_sides", "sta.runs", "transient.solves"}) {
+        "noise.filter_false_sides", "noise.envelope_cache_hits",
+        "noise.envelope_cache_misses", "sta.runs", "transient.solves"}) {
     reg.counter(name);
   }
   // Gauges.

@@ -29,15 +29,37 @@
 #define TKA_OBS_ENABLED 1
 #endif
 
+#include <map>
+#include <string>
+
+namespace tka::obs {
+
+/// Point-in-time copy of every scalar metric (counters and gauges) in the
+/// registry. Histograms are excluded: consumers that need distribution
+/// data read write_json(). With TKA_OBS_DISABLED the snapshot is empty.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+};
+
+/// Per-name counter increments between two snapshots (`after` - `before`).
+/// Names absent from `before` count from zero; names that only exist in
+/// `before` are dropped. Counters are monotone, so negative deltas cannot
+/// occur outside an interleaved registry().reset(). Gauges are
+/// last-write-wins scalars with no meaningful difference, so the delta
+/// carries `after`'s gauge values unchanged.
+MetricsSnapshot counters_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+}  // namespace tka::obs
+
 #if TKA_OBS_ENABLED
 
 #include <array>
 #include <atomic>
 #include <bit>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <string>
 
 namespace tka::obs {
 
@@ -117,6 +139,10 @@ class MetricsRegistry {
   /// callers that splice extra fields into the same object.
   void write_json_fields(std::ostream& out) const;
 
+  /// Copies every counter and gauge value. The benchmark harness takes a
+  /// snapshot around each timed repetition and records the counter deltas.
+  MetricsSnapshot snapshot() const;
+
   /// Zeroes every value; metric objects (and references) survive. Tests use
   /// this to isolate runs.
   void reset();
@@ -176,6 +202,7 @@ class MetricsRegistry {
   }
   void write_json(std::ostream& out) const;
   void write_json_fields(std::ostream& out) const;
+  MetricsSnapshot snapshot() const { return {}; }
   void reset() {}
 
  private:

@@ -1,0 +1,84 @@
+// bench_compare: regression gate over two BENCH_*.json files.
+//
+//   bench_compare BASELINE CANDIDATE [options]
+//     --time-threshold F     max relative median-time growth (default 0.15;
+//                            negative disables time comparison)
+//     --value-threshold F    max relative value drift, either direction
+//                            (default 1e-6; negative disables)
+//     --counter-threshold F  max relative counter growth (default 0.10;
+//                            negative disables)
+//     --skip-time | --skip-values | --skip-counters
+//                            shorthand for a negative threshold
+//
+// Exit codes: 0 = no regression, 1 = regression found, 2 = unusable input
+// (missing file, parse failure, schema/suite/scale mismatch, bad usage).
+// CI runs this against the committed baselines in bench/baselines/; see
+// docs/BENCHMARKING.md for the policy on which classes gate where.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/compare.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int exit_code) {
+  std::fprintf(exit_code == 0 ? stdout : stderr,
+               "usage: bench_compare BASELINE.json CANDIDATE.json\n"
+               "  --time-threshold F     default 0.15 (relative; <0 skips)\n"
+               "  --value-threshold F    default 1e-6 (relative; <0 skips)\n"
+               "  --counter-threshold F  default 0.10 (relative; <0 skips)\n"
+               "  --skip-time --skip-values --skip-counters\n");
+  std::exit(exit_code);
+}
+
+bool parse_double(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  *out = std::strtod(s, &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tka::bench::CompareOptions opt;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    double v = 0.0;
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--time-threshold") {
+      if (!parse_double(next(), &v)) usage(2);
+      opt.time_threshold = v;
+    } else if (arg == "--value-threshold") {
+      if (!parse_double(next(), &v)) usage(2);
+      opt.value_threshold = v;
+    } else if (arg == "--counter-threshold") {
+      if (!parse_double(next(), &v)) usage(2);
+      opt.counter_threshold = v;
+    } else if (arg == "--skip-time") {
+      opt.time_threshold = -1.0;
+    } else if (arg == "--skip-values") {
+      opt.value_threshold = -1.0;
+    } else if (arg == "--skip-counters") {
+      opt.counter_threshold = -1.0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown option %s\n",
+                   std::string(arg).c_str());
+      usage(2);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) usage(2);
+  return tka::bench::compare_bench_files(paths[0], paths[1], opt, std::cout);
+}
