@@ -49,6 +49,17 @@ void Netlist::mark_primary_output(NetId net) {
   nets_[net].is_primary_output = true;
 }
 
+void Netlist::resize_gate(GateId gate, size_t cell_index) {
+  TKA_CHECK(gate < gates_.size(), "resize_gate: unknown gate");
+  Gate& g = gates_[gate];
+  const CellType& from = library_->cell(g.cell_index);
+  const CellType& to = library_->cell(cell_index);
+  TKA_CHECK(from.func == to.func && from.num_inputs == to.num_inputs,
+            "resize_gate: cell " + to.name + " is not a drive variant of " +
+                from.name);
+  g.cell_index = cell_index;
+}
+
 std::vector<NetId> Netlist::primary_inputs() const {
   std::vector<NetId> out;
   for (NetId i = 0; i < nets_.size(); ++i) {

@@ -74,6 +74,13 @@ class Netlist {
   /// Marks a net as a primary output.
   void mark_primary_output(NetId net);
 
+  /// Swaps the gate's cell for another of the same function and pin count
+  /// (a drive-strength resize). The only netlist mutation allowed after
+  /// analysis starts: it preserves connectivity, levels and logic, so
+  /// incremental re-analysis only has to refresh the gate's delay. Throws
+  /// tka::Error when the replacement changes function or pin count.
+  void resize_gate(GateId gate, size_t cell_index);
+
   // --- Access ---
 
   size_t num_gates() const { return gates_.size(); }

@@ -1,8 +1,7 @@
 #include "noise/aggressor_filter.hpp"
 
-#include <memory>
+#include <algorithm>
 
-#include "net/logic_sim.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -12,16 +11,13 @@ namespace tka::noise {
 AggressorFilter::AggressorFilter(const net::Netlist& nl, const layout::Parasitics& par,
                                  const NoiseAnalyzer& analyzer,
                                  EnvelopeBuilder& builder, const FilterOptions& opt)
-    : par_(&par), false_side_(2 * par.num_couplings(), 0) {
-  const CouplingMask all = CouplingMask::all(par.num_couplings());
+    : nl_(&nl), par_(&par), opt_(opt), false_side_(2 * par.num_couplings(), 0) {
   obs::ScopedSpan span("noise.filter");
-  size_t by_zero_cap = 0, by_peak = 0, by_toggle = 0, by_window = 0;
-  const bool debug = log::enabled(log::Level::kDebug);
+  Tally tally;
 
-  std::unique_ptr<net::ToggleProfile> toggles;
-  if (opt.functional) {
-    toggles = std::make_unique<net::ToggleProfile>(net::profile_toggles(
-        nl, opt.functional_events, opt.functional_seed));
+  if (opt_.functional) {
+    toggles_ = std::make_unique<net::ToggleProfile>(net::profile_toggles(
+        nl, opt_.functional_events, opt_.functional_seed));
   }
   // Dominance interval per victim net is computed lazily (many nets have no
   // couplings at all).
@@ -31,54 +27,9 @@ AggressorFilter::AggressorFilter(const net::Netlist& nl, const layout::Parasitic
   for (layout::CapId id = 0; id < par.num_couplings(); ++id) {
     const layout::CouplingCap& cc = par.coupling(id);
     for (const net::NetId victim : {cc.net_a, cc.net_b}) {
-      const size_t side = side_index(victim, id);
-      if (cc.cap_pf <= 0.0) {
-        false_side_[side] = 1;
+      if (side_is_false(victim, id, analyzer, builder, have_iv, iv, &tally)) {
+        false_side_[side_index(victim, id)] = 1;
         ++num_filtered_;
-        ++by_zero_cap;
-        continue;
-      }
-      const wave::PulseShape shape = builder.pulse_shape(victim, id);
-      if (shape.peak < opt.min_peak_v) {
-        false_side_[side] = 1;
-        ++num_filtered_;
-        ++by_peak;
-        if (debug) {
-          log::debug() << "filter: cap " << id << " false for victim "
-                       << nl.net(victim).name << " (peak " << shape.peak
-                       << " V < " << opt.min_peak_v << " V)";
-        }
-        continue;
-      }
-      if (toggles != nullptr &&
-          !toggles->both_toggled(victim, cc.other(victim))) {
-        false_side_[side] = 1;
-        ++num_filtered_;
-        ++by_toggle;
-        if (debug) {
-          log::debug() << "filter: cap " << id << " false for victim "
-                       << nl.net(victim).name << " (no functional toggle overlap)";
-        }
-        continue;
-      }
-      if (!have_iv[victim]) {
-        iv[victim] = analyzer.dominance_interval(victim, builder, all);
-        iv[victim].lo -= opt.window_margin_ns;
-        iv[victim].hi += opt.window_margin_ns;
-        have_iv[victim] = 1;
-      }
-      const wave::Pwl& env = builder.envelope(victim, id);
-      // Zero inside the interval <=> the zero waveform encapsulates it there.
-      if (env.empty() ||
-          wave::Pwl::zero().encapsulates(env, iv[victim].lo, iv[victim].hi, 1e-12)) {
-        false_side_[side] = 1;
-        ++num_filtered_;
-        ++by_window;
-        if (debug) {
-          log::debug() << "filter: cap " << id << " false for victim "
-                       << nl.net(victim).name
-                       << " (envelope outside the dominance interval)";
-        }
       }
     }
   }
@@ -86,9 +37,101 @@ AggressorFilter::AggressorFilter(const net::Netlist& nl, const layout::Parasitic
   if (log::enabled(log::Level::kDebug)) {
     log::debug() << "filter: " << num_filtered_ << " of "
                  << 2 * par.num_couplings() << " victim-cap sides false ("
-                 << by_zero_cap << " zero-cap, " << by_peak << " low-peak, "
-                 << by_toggle << " no-toggle, " << by_window
-                 << " outside-window)";
+                 << tally.zero_cap << " zero-cap, " << tally.peak
+                 << " low-peak, " << tally.toggle << " no-toggle, "
+                 << tally.window << " outside-window)";
+  }
+}
+
+bool AggressorFilter::side_is_false(net::NetId victim, layout::CapId id,
+                                    const NoiseAnalyzer& analyzer,
+                                    EnvelopeBuilder& builder,
+                                    std::vector<char>& have_iv,
+                                    std::vector<wave::DominanceInterval>& iv,
+                                    Tally* tally) const {
+  const layout::CouplingCap& cc = par_->coupling(id);
+  const bool debug = log::enabled(log::Level::kDebug);
+  if (cc.cap_pf <= 0.0) {
+    ++tally->zero_cap;
+    return true;
+  }
+  const wave::PulseShape shape = builder.pulse_shape(victim, id);
+  if (shape.peak < opt_.min_peak_v) {
+    ++tally->peak;
+    if (debug) {
+      log::debug() << "filter: cap " << id << " false for victim "
+                   << nl_->net(victim).name << " (peak " << shape.peak
+                   << " V < " << opt_.min_peak_v << " V)";
+    }
+    return true;
+  }
+  if (toggles_ != nullptr && !toggles_->both_toggled(victim, cc.other(victim))) {
+    ++tally->toggle;
+    if (debug) {
+      log::debug() << "filter: cap " << id << " false for victim "
+                   << nl_->net(victim).name << " (no functional toggle overlap)";
+    }
+    return true;
+  }
+  if (!have_iv[victim]) {
+    const CouplingMask all = CouplingMask::all(par_->num_couplings());
+    iv[victim] = analyzer.dominance_interval(victim, builder, all);
+    iv[victim].lo -= opt_.window_margin_ns;
+    iv[victim].hi += opt_.window_margin_ns;
+    have_iv[victim] = 1;
+  }
+  const wave::Pwl& env = builder.envelope(victim, id);
+  // Zero inside the interval <=> the zero waveform encapsulates it there.
+  if (env.empty() ||
+      wave::Pwl::zero().encapsulates(env, iv[victim].lo, iv[victim].hi, 1e-12)) {
+    ++tally->window;
+    if (debug) {
+      log::debug() << "filter: cap " << id << " false for victim "
+                   << nl_->net(victim).name
+                   << " (envelope outside the dominance interval)";
+    }
+    return true;
+  }
+  return false;
+}
+
+void AggressorFilter::refresh(std::span<const net::NetId> nets,
+                              const NoiseAnalyzer& analyzer,
+                              EnvelopeBuilder& builder) {
+  obs::ScopedSpan span("noise.filter_refresh");
+  static obs::Counter& c_sides =
+      obs::registry().counter("noise.filter_refreshed_sides");
+  // Collect the affected sides, deduplicated and in ascending side order.
+  std::vector<size_t> sides;
+  for (net::NetId n : nets) {
+    for (layout::CapId id : par_->couplings_of(n)) {
+      sides.push_back(side_index(n, id));
+      sides.push_back(side_index(par_->coupling(id).other(n), id));
+    }
+  }
+  std::sort(sides.begin(), sides.end());
+  sides.erase(std::unique(sides.begin(), sides.end()), sides.end());
+  c_sides.add(sides.size());
+
+  Tally tally;
+  std::vector<char> have_iv(nl_->num_nets(), 0);
+  std::vector<wave::DominanceInterval> iv(nl_->num_nets());
+  for (size_t side : sides) {
+    const layout::CapId id = static_cast<layout::CapId>(side / 2);
+    const layout::CouplingCap& cc = par_->coupling(id);
+    const net::NetId victim = (side % 2 == 0) ? cc.net_a : cc.net_b;
+    const char now = side_is_false(victim, id, analyzer, builder, have_iv, iv,
+                                   &tally)
+                         ? 1
+                         : 0;
+    if (now != false_side_[side]) {
+      if (now != 0) {
+        ++num_filtered_;
+      } else {
+        --num_filtered_;
+      }
+      false_side_[side] = now;
+    }
   }
 }
 

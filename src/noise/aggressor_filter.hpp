@@ -12,6 +12,10 @@
 
 #include <cstddef>
 
+#include <memory>
+#include <span>
+
+#include "net/logic_sim.hpp"
 #include "noise/noise_analyzer.hpp"
 
 namespace tka::noise {
@@ -32,12 +36,21 @@ struct FilterOptions {
 };
 
 /// Per-victim false-aggressor decisions, precomputed over all couplings.
+/// Sessions keep one instance alive across queries and refresh() only the
+/// sides an edit touched.
 class AggressorFilter {
  public:
   /// Evaluates all (victim, cap) sides under the builder's windows.
   AggressorFilter(const net::Netlist& nl, const layout::Parasitics& par,
                   const NoiseAnalyzer& analyzer, EnvelopeBuilder& builder,
                   const FilterOptions& options = {});
+
+  /// Re-evaluates every side touching one of `nets` (as victim or as the
+  /// coupled aggressor) under the builder's current windows, applying the
+  /// same rules in the same order as construction. The functional toggle
+  /// profile is logic-only and is reused as-is. Serial and deterministic.
+  void refresh(std::span<const net::NetId> nets, const NoiseAnalyzer& analyzer,
+               EnvelopeBuilder& builder);
 
   /// True when `cap` can never produce delay noise on `victim`.
   bool is_false(net::NetId victim, layout::CapId cap) const;
@@ -48,9 +61,28 @@ class AggressorFilter {
   size_t num_sides() const { return false_side_.size(); }
 
  private:
+  /// Per-rule removal tallies for the debug summary line.
+  struct Tally {
+    size_t zero_cap = 0;
+    size_t peak = 0;
+    size_t toggle = 0;
+    size_t window = 0;
+  };
+
   size_t side_index(net::NetId victim, layout::CapId cap) const;
 
+  /// One side's verdict under the current windows; `have_iv`/`iv` lazily
+  /// cache the per-victim dominance interval across sides of one pass.
+  bool side_is_false(net::NetId victim, layout::CapId cap,
+                     const NoiseAnalyzer& analyzer, EnvelopeBuilder& builder,
+                     std::vector<char>& have_iv,
+                     std::vector<wave::DominanceInterval>& iv,
+                     Tally* tally) const;
+
+  const net::Netlist* nl_;
   const layout::Parasitics* par_;
+  FilterOptions opt_;
+  std::unique_ptr<net::ToggleProfile> toggles_;
   std::vector<char> false_side_;  // [2 * cap + (victim == net_b)]
   size_t num_filtered_ = 0;
 };

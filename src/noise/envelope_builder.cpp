@@ -52,6 +52,28 @@ const wave::Pwl& EnvelopeBuilder::envelope(net::NetId victim, layout::CapId cap)
   return ins->second;
 }
 
+void EnvelopeBuilder::invalidate_net(net::NetId net) {
+  static obs::Counter& c_inval =
+      obs::registry().counter("noise.envelope_cache_invalidated");
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  std::size_t dropped = 0;
+  for (layout::CapId cap : par_->couplings_of(net)) {
+    dropped += cache_.erase(key_of(net, cap));
+    dropped += cache_.erase(key_of(par_->coupling(cap).other(net), cap));
+  }
+  c_inval.add(dropped);
+}
+
+void EnvelopeBuilder::invalidate_cap(layout::CapId cap) {
+  static obs::Counter& c_inval =
+      obs::registry().counter("noise.envelope_cache_invalidated");
+  const layout::CouplingCap& cc = par_->coupling(cap);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  std::size_t dropped = cache_.erase(key_of(cc.net_a, cap));
+  dropped += cache_.erase(key_of(cc.net_b, cap));
+  c_inval.add(dropped);
+}
+
 wave::Pwl EnvelopeBuilder::envelope_widened(net::NetId victim, layout::CapId cap,
                                             double lat_extension) const {
   return build(victim, cap, lat_extension);

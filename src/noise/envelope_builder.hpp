@@ -53,6 +53,15 @@ class EnvelopeBuilder {
   /// The characterized pulse shape for (victim, cap).
   wave::PulseShape pulse_shape(net::NetId victim, layout::CapId cap) const;
 
+  /// Drops every cached envelope touching `net` — as the victim side or as
+  /// the aggressor of one of its couplings. Sessions call this after an
+  /// edit (or a window change at `net`) so only the affected entries
+  /// rebuild; everything else keeps hitting the cache.
+  void invalidate_net(net::NetId net);
+
+  /// Drops both victim sides of one coupling.
+  void invalidate_cap(layout::CapId cap);
+
   const sta::WindowTable& windows() const { return *windows_; }
 
  private:

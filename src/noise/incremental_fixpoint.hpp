@@ -1,0 +1,87 @@
+// Incremental re-convergence of the iterative delay-noise fixpoint.
+//
+// recompute() runs the plain analyze_iterative() loop while recording its
+// trajectory (the bump vector and window table of every STA evaluation).
+// refresh() then re-converges after a small design or mask edit by
+// replaying the recorded iterations through sta::IncrementalSta: each
+// iteration adopts the stored windows, applies the edit cone plus the
+// bumps that differ from the recorded ones, and re-runs the per-victim
+// relaxation only where an input actually changed — the stored result is
+// reused everywhere else.
+//
+// A value is only ever reused when its inputs are bitwise identical to the
+// recorded run's, so the refreshed report is bit-identical to a cold
+// recompute() on the edited design, at every thread count. Once the replay
+// drifts past the recorded iteration count it falls back to full sweeps,
+// which keeps the identity unconditional.
+#pragma once
+
+#include <span>
+
+#include "noise/iterative.hpp"
+
+namespace tka::noise {
+
+/// Persistent fixpoint state for a (design, mask-polarity) pair. Cheap to
+/// copy: warm candidate evaluation clones the primed object and refreshes
+/// the clone under a perturbed mask.
+class IncrementalFixpoint {
+ public:
+  IncrementalFixpoint(const net::Netlist& nl, const layout::Parasitics& par,
+                      const sta::DelayModel& model,
+                      const CouplingCalculator& calc,
+                      const IterativeOptions& options);
+
+  /// Cold run: records the trajectory and primes the object. Counter-for-
+  /// counter identical to a plain analyze_iterative() call.
+  const NoiseReport& recompute(const CouplingMask& mask);
+
+  /// Warm run after an edit. `dirty_nets` are nets whose local inputs
+  /// changed (parasitics, driver cell, arrival); `dirty_caps` are couplings
+  /// whose value or mask participation changed (their endpoints are added
+  /// to the dirty set). `mask` is the mask to converge under — it may
+  /// differ from the primed one only on `dirty_caps`. Requires primed().
+  const NoiseReport& refresh(std::span<const net::NetId> dirty_nets,
+                             std::span<const layout::CapId> dirty_caps,
+                             const CouplingMask& mask);
+
+  bool primed() const { return primed_; }
+  const NoiseReport& report() const { return report_; }
+  const IterativeOptions& options() const { return opt_; }
+
+  /// Overrides the relaxation worker count (e.g. a clone evaluated inside
+  /// an already-parallel region drops to 1). Thread count never changes
+  /// values, only scheduling.
+  void set_threads(int threads) { opt_.threads = threads; }
+
+  /// Nets whose noiseless window changed in the last refresh() (exact
+  /// diffs vs. the previous report), ascending id. Empty after recompute().
+  const std::vector<net::NetId>& changed_noiseless() const {
+    return changed_noiseless_;
+  }
+  /// Nets whose noisy window or delay-noise bump changed, ascending id.
+  const std::vector<net::NetId>& changed_noisy() const { return changed_noisy_; }
+
+ private:
+  // One STA evaluation of the replay: adopt the recorded entry at `idx`
+  // when one exists (full run_sta otherwise), apply edits and bumps,
+  // update. Fills `*out` and flags the nets whose window differs from the
+  // recorded entry in `*win_dirty`.
+  void replay_sta(std::size_t idx, const std::vector<double>& bump,
+                  std::span<const net::NetId> e_nets, sta::StaResult* out,
+                  std::vector<char>* win_dirty);
+
+  const net::Netlist* nl_;
+  const layout::Parasitics* par_;
+  const sta::DelayModel* model_;
+  const CouplingCalculator* calc_;
+  IterativeOptions opt_;
+
+  NoiseReport report_;
+  FixpointTrajectory traj_;
+  bool primed_ = false;
+  std::vector<net::NetId> changed_noiseless_;
+  std::vector<net::NetId> changed_noisy_;
+};
+
+}  // namespace tka::noise

@@ -15,6 +15,15 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
                               const CouplingCalculator& calc,
                               const CouplingMask& mask,
                               const IterativeOptions& opt) {
+  return analyze_iterative(nl, par, model, calc, mask, opt, nullptr);
+}
+
+NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& par,
+                              const sta::DelayModel& model,
+                              const CouplingCalculator& calc,
+                              const CouplingMask& mask,
+                              const IterativeOptions& opt,
+                              FixpointTrajectory* trajectory) {
   TKA_ASSERT(mask.size() == par.num_couplings());
   obs::ScopedSpan span("noise.fixpoint");
   static obs::Counter& c_runs = obs::registry().counter("noise.fixpoint_runs");
@@ -25,6 +34,7 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
   static obs::Histogram& h_iters =
       obs::registry().histogram("noise.fixpoint_iters", 1.0, 64.0);
   c_runs.add(1);
+  if (trajectory != nullptr) *trajectory = FixpointTrajectory{};
 
   NoiseReport report;
   NoiseAnalyzer analyzer(nl, par, model);
@@ -32,6 +42,7 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
   const sta::StaResult base = sta::run_sta(nl, model, opt.sta);
   report.noiseless_windows = base.windows;
   report.noiseless_delay = base.max_lat;
+  if (trajectory != nullptr) trajectory->base = base;
 
   // Convergence is judged relative to the circuit scale: demanding
   // sub-femtosecond stability on a long unbuffered path just burns
@@ -56,6 +67,10 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
       iter_span.arg("iter", static_cast<std::int64_t>(iter));
     }
     current = sta::run_sta(nl, model, opt.sta, &bump);
+    if (trajectory != nullptr) {
+      trajectory->bumps.push_back(bump);
+      trajectory->windows.push_back(current.windows);
+    }
     EnvelopeBuilder builder(nl, par, calc, current.windows);
     std::vector<double> next(nl.num_nets(), 0.0);
     // The relaxation sweep: every victim's new bump depends only on the
@@ -92,6 +107,11 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
   }
 
   const sta::StaResult final_sta = sta::run_sta(nl, model, opt.sta, &bump);
+  if (trajectory != nullptr) {
+    trajectory->bumps.push_back(bump);
+    trajectory->windows.push_back(final_sta.windows);
+    trajectory->final_sta = final_sta;
+  }
   report.noisy_windows = final_sta.windows;
   report.delay_noise = std::move(bump);
   report.noisy_delay = final_sta.max_lat;

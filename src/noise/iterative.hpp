@@ -39,11 +39,35 @@ struct NoiseReport {
   bool converged = false;
 };
 
+/// Everything needed to *replay* one fixpoint run incrementally: the bump
+/// vector and window table of every STA evaluation, in order. Entry t holds
+/// bumps[t] and windows[t] == run_sta(bumps[t]).windows; the last entry is
+/// the final (post-convergence) evaluation, duplicated in `final_sta` with
+/// its gate tables. Recorded by analyze_iterative on request and consumed
+/// by IncrementalFixpoint (noise/incremental_fixpoint.hpp).
+struct FixpointTrajectory {
+  sta::StaResult base;                        ///< the noiseless STA
+  std::vector<std::vector<double>> bumps;     ///< per-iteration bump vectors
+  std::vector<sta::WindowTable> windows;      ///< run_sta(bumps[t]).windows
+  sta::StaResult final_sta;                   ///< the last evaluation, full
+};
+
 /// Runs the fixpoint with the given coupling mask.
 NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& par,
                               const sta::DelayModel& model,
                               const CouplingCalculator& calc,
                               const CouplingMask& mask,
                               const IterativeOptions& options = {});
+
+/// Same, additionally recording the run's trajectory into `*trajectory`
+/// (previous contents are discarded). Recording only copies vectors the
+/// run computes anyway, so the report — and every obs counter — is
+/// identical to the non-recording overload.
+NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& par,
+                              const sta::DelayModel& model,
+                              const CouplingCalculator& calc,
+                              const CouplingMask& mask,
+                              const IterativeOptions& options,
+                              FixpointTrajectory* trajectory);
 
 }  // namespace tka::noise

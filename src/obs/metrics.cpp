@@ -155,15 +155,19 @@ void register_core_metrics() {
   MetricsRegistry& reg = registry();
   // Counters.
   for (const char* name :
-       {"topk.runs", "topk.sets_generated", "topk.dominance_pruned",
-        "topk.beam_capped", "topk.generation_capped", "noise.fixpoint_runs",
-        "noise.fixpoint_iterations", "noise.fixpoint_nonconverged",
-        "noise.filter_false_sides", "noise.envelope_cache_hits",
-        "noise.envelope_cache_misses", "sta.runs", "transient.solves"}) {
+       {"topk.runs", "topk.whatif_runs", "topk.sets_generated",
+        "topk.surviving_sets", "topk.dominance_pruned", "topk.beam_capped",
+        "topk.generation_capped", "topk.baseline_refreshes",
+        "topk.baseline_refresh_region", "session.whatif_edits",
+        "noise.fixpoint_runs", "noise.fixpoint_iterations",
+        "noise.fixpoint_nonconverged", "noise.filter_false_sides",
+        "noise.envelope_cache_hits", "noise.envelope_cache_misses",
+        "sta.runs", "transient.solves"}) {
     reg.counter(name);
   }
   // Gauges.
-  for (const char* name : {"topk.max_list_size", "topk.runtime_s"}) {
+  for (const char* name :
+       {"topk.max_list_size", "topk.runtime_s", "session.dirty_victims"}) {
     reg.gauge(name);
   }
   // Histograms (specs must match the instrumentation call sites).

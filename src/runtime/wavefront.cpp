@@ -16,4 +16,13 @@ Wavefront::Wavefront(const net::Netlist& nl) : level_of_(net::net_levels(nl)) {
   }
 }
 
+void filter_level(const Wavefront& wavefront, std::size_t i,
+                  const std::vector<char>& flags,
+                  std::vector<net::NetId>* out) {
+  out->clear();
+  for (net::NetId n : wavefront.level(i)) {
+    if (flags[n]) out->push_back(n);  // ascending ids, inherited from the level
+  }
+}
+
 }  // namespace tka::runtime

@@ -42,4 +42,14 @@ class Wavefront {
   std::vector<int> level_of_;
 };
 
+/// Copies the nets of level `i` whose `flags` entry is nonzero into `*out`
+/// (cleared first), preserving the level's deterministic order. Incremental
+/// sweeps narrow each level's batch this way while still firing every level
+/// barrier — and because the filter runs at level-processing time, the flag
+/// set may legitimately grow while earlier levels execute (change-driven
+/// dirtiness propagates forward with the sweep).
+void filter_level(const Wavefront& wavefront, std::size_t i,
+                  const std::vector<char>& flags,
+                  std::vector<net::NetId>* out);
+
 }  // namespace tka::runtime

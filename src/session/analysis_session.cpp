@@ -1,0 +1,476 @@
+#include "session/analysis_session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "runtime/runtime.hpp"
+#include "topk/stages/baseline_stage.hpp"
+#include "topk/stages/candidate_stage.hpp"
+#include "topk/stages/evaluate_stage.hpp"
+#include "topk/stages/prune_stage.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace tka::session {
+
+using topk::stages::BaselineStage;
+using topk::stages::BestSnap;
+using topk::stages::CandidateStage;
+using topk::stages::EvaluateStage;
+using topk::stages::PruneStage;
+using topk::stages::QueryContext;
+
+AnalysisSession::AnalysisSession(const net::Netlist& nl,
+                                 const layout::Parasitics& par,
+                                 const sta::DelayModel& model,
+                                 const noise::CouplingCalculator& calc,
+                                 SessionOptions options)
+    : sopt_(options) {
+  design_ = {&nl, &par, &model, &calc};
+}
+
+AnalysisSession::AnalysisSession(net::Netlist nl, layout::Parasitics par,
+                                 const sta::DelayModelOptions& model_options,
+                                 SessionOptions options)
+    : nl_own_(std::make_unique<net::Netlist>(std::move(nl))),
+      par_own_(std::make_unique<layout::Parasitics>(std::move(par))),
+      model_own_(std::make_unique<sta::DelayModel>(*nl_own_, *par_own_,
+                                                   model_options)),
+      calc_own_(std::make_unique<noise::AnalyticCouplingCalculator>(
+          *par_own_, *model_own_)),
+      sopt_(options) {
+  design_ = {nl_own_.get(), par_own_.get(), model_own_.get(), calc_own_.get()};
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+const noise::NoiseReport& AnalysisSession::baseline_report() const {
+  TKA_CHECK(primed_, "baseline_report requires a primed session");
+  return base_.fixpoint->report();
+}
+
+topk::TopkResult AnalysisSession::run(const topk::TopkOptions& options) {
+  opt_ = options;
+  threads_ = runtime::resolve_threads(opt_.threads);
+  // The fixpoints the pipeline launches (baseline, re-evaluation) inherit
+  // the run's worker count unless the caller pinned their own.
+  iter_opt_ = opt_.iterative;
+  if (iter_opt_.threads == 0) iter_opt_.threads = threads_;
+  primed_ = false;
+  topk::TopkResult result = query(nullptr);
+  primed_ = true;
+  return result;
+}
+
+topk::TopkResult AnalysisSession::what_if(const WhatIfEdit& edit) {
+  TKA_CHECK(nl_own_ != nullptr, "what_if requires an owning session");
+  TKA_CHECK(primed_, "what_if requires a primed session (call run() first)");
+  TKA_CHECK(sopt_.retain_candidates,
+            "what_if requires SessionOptions::retain_candidates");
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.counter("session.whatif_edits")
+      .add(edit.zero_couplings.size() + edit.shield_couplings.size() +
+           edit.resizes.size());
+
+  // Apply the edit to the private design copy and collect its electrical
+  // footprint: the nets whose local loads/drive changed and the couplings
+  // whose value changed.
+  std::vector<net::NetId> edit_nets;
+  std::vector<layout::CapId> edit_caps;
+  auto touch_cap = [&](layout::CapId cap) {
+    TKA_CHECK(cap < par_own_->num_couplings(), "what_if: unknown coupling");
+    const layout::CouplingCap& cc = par_own_->coupling(cap);
+    edit_caps.push_back(cap);
+    edit_nets.push_back(cc.net_a);
+    edit_nets.push_back(cc.net_b);
+  };
+  for (layout::CapId cap : edit.zero_couplings) {
+    touch_cap(cap);
+    par_own_->zero_coupling(cap);
+  }
+  for (layout::CapId cap : edit.shield_couplings) {
+    touch_cap(cap);
+    par_own_->shield_coupling(cap);
+  }
+  for (const WhatIfEdit::Resize& rz : edit.resizes) {
+    nl_own_->resize_gate(rz.gate, rz.cell_index);
+    // The output net's drive and every input net's pin load can change.
+    const net::Gate& g = nl_own_->gate(rz.gate);
+    edit_nets.push_back(g.output);
+    for (net::NetId in : g.inputs) edit_nets.push_back(in);
+  }
+  std::sort(edit_nets.begin(), edit_nets.end());
+  edit_nets.erase(std::unique(edit_nets.begin(), edit_nets.end()),
+                  edit_nets.end());
+  std::sort(edit_caps.begin(), edit_caps.end());
+  edit_caps.erase(std::unique(edit_caps.begin(), edit_caps.end()),
+                  edit_caps.end());
+
+  // Re-converge the baseline incrementally and collect the seed victims.
+  std::vector<net::NetId> seeds;
+  {
+    obs::ScopedSpan stage_span("topk.stage.baseline");
+    BaselineStage::refresh(design_, opt_, iter_opt_, edit_nets, edit_caps,
+                           &base_, &seeds);
+    if (opt_.mode == topk::Mode::kAddition && opt_.reevaluate) {
+      // Addition evaluates candidate sets against the mask=none fixpoint;
+      // keep a primed one warm for the re-ranking stage.
+      const noise::CouplingMask none =
+          noise::CouplingMask::none(design_.par->num_couplings());
+      if (fp_none_ == nullptr) {
+        fp_none_ = std::make_unique<noise::IncrementalFixpoint>(
+            *design_.nl, *design_.par, *design_.model, *design_.calc,
+            iter_opt_);
+        fp_none_->recompute(none);
+      } else {
+        fp_none_->refresh(edit_nets, edit_caps, none);
+      }
+    }
+  }
+
+  log::info() << "session: what-if edit (" << edit_caps.size()
+              << " couplings, " << edit.resizes.size() << " resizes) -> "
+              << seeds.size() << " of " << design_.nl->num_nets()
+              << " seed victims";
+  return query(&seeds);
+}
+
+namespace {
+
+/// Exact (bitwise) equality of a rebuilt candidate list against its
+/// memoized predecessor — the trigger for change-driven dirtiness. Any
+/// tolerance here would let a drifted value hide behind a stale memo and
+/// break the bit-identity contract, so none is applied.
+bool lists_equal(std::span<const topk::CandidateSet> a,
+                 std::span<const topk::CandidateSet> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].score != b[i].score || a[i].members != b[i].members ||
+        a[i].envelope.points() != b[i].envelope.points()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double AnalysisSession::evaluate_members(
+    std::span<const layout::CapId> members,
+    const noise::IterativeOptions& iterative, bool warm) {
+  const bool addition = (opt_.mode == topk::Mode::kAddition);
+  if (warm) {
+    const noise::IncrementalFixpoint* base_fp =
+        addition ? fp_none_.get() : base_.fixpoint.get();
+    if (base_fp != nullptr && base_fp->primed()) {
+      // Clone the primed fixpoint and re-converge the clone under the
+      // perturbed mask: bit-identical to the cold analyze_iterative call,
+      // at a fraction of the iterations.
+      noise::IncrementalFixpoint fp = *base_fp;
+      fp.set_threads(iterative.threads);
+      noise::CouplingMask mask =
+          addition ? noise::CouplingMask::none(design_.par->num_couplings())
+                   : noise::CouplingMask::all(design_.par->num_couplings());
+      for (layout::CapId id : members) mask.set(id, addition);
+      fp.refresh({}, members, mask);
+      return fp.report().noisy_delay;
+    }
+  }
+  return BaselineStage::masked_delay(design_, members, opt_.mode, iterative);
+}
+
+topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
+  const topk::TopkOptions& opt = opt_;
+  TKA_ASSERT(opt.k >= 1);
+  // All run timing below comes from the obs monotonic clock so TopkStats,
+  // span durations and registry values agree with each other.
+  const std::int64_t run_start_ns = obs::now_ns();
+  const int threads = threads_;
+  const noise::IterativeOptions& iter_opt = iter_opt_;
+  const bool cold = (seeds == nullptr);
+  obs::ScopedSpan run_span(cold ? "topk.run" : "topk.whatif");
+  run_span.arg("k", static_cast<std::int64_t>(opt.k))
+      .arg("mode",
+           opt.mode == topk::Mode::kAddition ? "addition" : "elimination")
+      .arg("threads", static_cast<std::int64_t>(threads));
+
+  // Per-query metric handles, hoisted out of the hot loops. TopkStats
+  // counter fields are populated from registry deltas at the end (and
+  // therefore read 0 when observability is compiled out).
+  obs::MetricsRegistry& reg = obs::registry();
+  obs::Counter& c_sets = reg.counter("topk.sets_generated");
+  obs::Counter& c_dominance = reg.counter("topk.dominance_pruned");
+  obs::Counter& c_beam = reg.counter("topk.beam_capped");
+  obs::Counter& c_gen_cap = reg.counter("topk.generation_capped");
+  obs::Counter& c_surviving = reg.counter("topk.surviving_sets");
+  obs::Histogram& h_ilist = reg.histogram("topk.ilist_size", 1.0, 65536.0);
+  reg.counter(cold ? "topk.runs" : "topk.whatif_runs").add(1);
+  const std::uint64_t sets_before = c_sets.value();
+
+  topk::TopkResult result;
+  result.mode = opt.mode;
+
+  const net::Netlist& nl = *design_.nl;
+  const std::size_t num_nets = nl.num_nets();
+  const std::size_t num_caps = design_.par->num_couplings();
+  const std::size_t k = static_cast<std::size_t>(opt.k);
+  const bool addition = (opt.mode == topk::Mode::kAddition);
+
+  if (cold) {
+    log::info() << "topk: start k=" << opt.k << " mode="
+                << (addition ? "addition" : "elimination")
+                << " nets=" << num_nets << " couplings=" << num_caps;
+    base_ = topk::stages::BaselineState{};
+    {
+      obs::ScopedSpan stage_span("topk.stage.baseline");
+      BaselineStage::prime(design_, opt, iter_opt, &base_);
+    }
+    memo_ = topk::stages::SweepMemo{};
+    memo_.k = k;
+    memo_.retain = sopt_.retain_candidates;
+    memo_.lists.resize(k);
+    if (memo_.retain && !addition) memo_.sweep0.resize(k);
+    memo_.winner_score.assign(num_nets, std::vector<double>(k + 1, -1.0));
+    memo_.winner_members.assign(
+        num_nets, std::vector<std::vector<layout::CapId>>(k + 1));
+    wavefront_ = std::make_unique<runtime::Wavefront>(nl);
+    fp_none_.reset();
+  } else {
+    TKA_CHECK(memo_.k == k, "what_if must reuse the priming run's k");
+  }
+
+  result.all_aggressor_report = base_.fixpoint->report();
+  const noise::NoiseReport& all_rep = result.all_aggressor_report;
+  if (addition) {
+    result.baseline_delay = all_rep.noiseless_delay;
+    result.reference_delay = all_rep.noisy_delay;
+  } else {
+    result.baseline_delay = all_rep.noisy_delay;
+    result.reference_delay = all_rep.noiseless_delay;
+  }
+
+  std::vector<BestSnap> ho_snap(addition ? 0 : num_nets);
+
+  // Change-driven dirtiness (warm queries). `need` marks victims whose
+  // enumeration inputs may have moved; it is seeded from the baseline
+  // refresh and grows while the sweep runs, sticky across cardinalities
+  // (cross-cardinality reads — own prior layer, fanin winner trails —
+  // mean a victim stays interesting once any input ever changed this
+  // query). `rebuilt` flags, per cardinality, the victims re-enumerated
+  // at sweep 0: exactly what sets_of / publish need to pick between the
+  // live list and the memoized sweep-0 snapshot. `changed_any` ensures
+  // each net's readers are dirtied at most once per query.
+  std::vector<char> need;
+  std::vector<char> changed_any;
+  std::vector<char> rebuilt;
+  std::vector<std::vector<topk::CandidateSet>> prev_final;
+  if (!cold) {
+    need.assign(num_nets, 0);
+    for (net::NetId v : *seeds) need[v] = 1;
+    changed_any.assign(num_nets, 0);
+    rebuilt.assign(num_nets, 0);
+    prev_final.resize(num_nets);
+  }
+  // A net whose rebuilt list actually differs from its memoized one dirties
+  // its one-hop readers: fanout gate outputs (pseudo propagation, balanced
+  // unions) and live coupled partners (higher-order atoms, primary
+  // envelopes). No transitive closure — if the reader's own list then
+  // comes out unchanged, the wave stops there.
+  auto mark_changed = [&](net::NetId v) {
+    if (changed_any[v]) return;
+    changed_any[v] = 1;
+    need[v] = 1;
+    for (const net::PinRef& pin : nl.net(v).fanouts) {
+      need[nl.gate(pin.gate).output] = 1;
+    }
+    for (layout::CapId cap : design_.par->couplings_of(v)) {
+      if (design_.par->coupling(cap).cap_pf <= 0.0) continue;
+      need[design_.par->coupling(cap).other(v)] = 1;
+    }
+  };
+
+  QueryContext ctx;
+  ctx.design = design_;
+  ctx.opt = &opt;
+  ctx.iter_opt = iter_opt;
+  ctx.threads = threads;
+  ctx.k = k;
+  ctx.addition = addition;
+  ctx.base = &base_;
+  ctx.memo = &memo_;
+  ctx.dirty = cold ? nullptr : &rebuilt;
+  ctx.ho_snap = &ho_snap;
+  ctx.result = &result;
+  const bool warm_eval = !cold && sopt_.retain_candidates;
+  ctx.evaluate = [this, warm_eval](std::span<const layout::CapId> members,
+                                   const noise::IterativeOptions& iterative) {
+    return evaluate_members(members, iterative, warm_eval);
+  };
+  ctx.c_sets = &c_sets;
+  ctx.c_gen_cap = &c_gen_cap;
+  ctx.c_surviving = &c_surviving;
+  ctx.h_ilist = &h_ilist;
+
+  EvaluateStage evaluate(&ctx);
+
+  std::vector<net::NetId> batch_store;  // warm: the level's needy victims
+  std::size_t work_victims = 0;         // warm: total re-enumerations
+
+  // Elimination needs a second sweep per cardinality: its indirect
+  // (window-narrowing) atoms reference the aggressor net's *current*-
+  // cardinality winner, which only exists after the first sweep when the
+  // aggressor follows the victim in the level order. Lists deduplicate, so
+  // the second sweep is a pure refinement.
+  const int sweeps = addition ? 1 : 2;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::int64_t card_start_ns = obs::now_ns();
+    obs::ScopedSpan card_span(str::format("topk.cardinality.%zu", i));
+    if (memo_.lists[i - 1].size() != num_nets) {
+      memo_.lists[i - 1].assign(num_nets, {});
+    }
+    if (memo_.retain && !addition && memo_.sweep0[i - 1].size() != num_nets) {
+      memo_.sweep0[i - 1].assign(num_nets, {});
+    }
+    for (BestSnap& s : ho_snap) s.valid = false;
+    if (!cold) rebuilt.assign(num_nets, 0);
+
+    // Victims within one topological level never feed each other's driver
+    // cone, so each level is one parallel batch with a barrier in between.
+    // All cross-victim reads inside a batch are of completed earlier levels
+    // or of barrier-published snapshots; every write lands in the victim's
+    // own slot, and all reductions run on the calling thread in index order
+    // — so the result is bit-identical for every thread count.
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      for (std::size_t lvl = 0; lvl < wavefront_->num_levels(); ++lvl) {
+        const std::span<const net::NetId> full = wavefront_->level(lvl);
+        std::span<const net::NetId> batch = full;
+        if (!cold) {
+          // The batch is filtered at level time: need flags set by earlier
+          // levels of this very sweep are already visible here.
+          runtime::filter_level(*wavefront_, lvl, need, &batch_store);
+          batch = batch_store;
+          work_victims += batch.size();
+          for (net::NetId v : batch) {
+            topk::IList& live = memo_.lists[i - 1][v];
+            if (sweep == 0) {
+              // Keep the memoized final list for the post-sweep compare;
+              // generate is about to clear and rebuild it.
+              prev_final[v].assign(live.sets().begin(), live.sets().end());
+              rebuilt[v] = 1;
+            } else if (!rebuilt[v]) {
+              // Dirtied mid-cardinality by a later-level change: its own
+              // sweep-0 inputs were clean, so the memoized sweep-0 snapshot
+              // is exactly the list a cold run would enter sweep 1 with.
+              prev_final[v].assign(live.sets().begin(), live.sets().end());
+              live.clear();
+              for (const topk::CandidateSet& s : memo_.sweep0[i - 1][v]) {
+                live.try_add(s);
+              }
+            }
+          }
+        }
+        if (!batch.empty()) {
+          {
+            obs::ScopedSpan gen_span("topk.stage.candidate");
+            runtime::parallel_for(threads, 0, batch.size(), [&](std::size_t bi) {
+              CandidateStage::generate(ctx, batch[bi], i, sweep);
+            });
+          }
+          std::vector<topk::PruneStats> batch_prune(batch.size());
+          std::vector<std::size_t> batch_max(batch.size(), 0);
+          {
+            obs::ScopedSpan prune_span("topk.stage.prune");
+            runtime::parallel_for(threads, 0, batch.size(), [&](std::size_t bi) {
+              PruneStage::reduce(ctx, batch[bi], i, &batch_prune[bi],
+                                 &batch_max[bi]);
+            });
+          }
+          // Deterministic reductions on the calling thread, in index order.
+          for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+            result.stats.prune.considered += batch_prune[bi].considered;
+            result.stats.prune.removed_dominated +=
+                batch_prune[bi].removed_dominated;
+            result.stats.prune.removed_beam += batch_prune[bi].removed_beam;
+            result.stats.max_list_size =
+                std::max(result.stats.max_list_size, batch_max[bi]);
+          }
+          if (!cold) {
+            // Compare each rebuilt list against what this query would have
+            // read had the victim stayed clean — the final sweep against
+            // the memoized final list, elimination sweep 0 against the old
+            // sweep-0 snapshot (publish overwrites it right below).
+            const bool final_sweep = (sweep == sweeps - 1);
+            for (net::NetId v : batch) {
+              const std::span<const topk::CandidateSet> live =
+                  memo_.lists[i - 1][v].sets();
+              const std::vector<topk::CandidateSet>& prev =
+                  final_sweep ? prev_final[v] : memo_.sweep0[i - 1][v];
+              if (!lists_equal(live, prev)) mark_changed(v);
+            }
+          }
+        }
+        if (!addition) PruneStage::publish(ctx, full, i, sweep);
+      }
+    }
+
+    {
+      obs::ScopedSpan eval_span("topk.stage.evaluate");
+      evaluate.select(i);
+    }
+    const std::int64_t now = obs::now_ns();
+    result.stats.runtime_by_k.push_back(obs::ns_to_seconds(now - run_start_ns));
+    reg.gauge(str::format("topk.cardinality_runtime_s.k%zu", i))
+        .set(obs::ns_to_seconds(now - card_start_ns));
+    if (log::enabled(log::Level::kDebug)) {
+      log::debug() << "topk: cardinality " << i << " done in "
+                   << obs::ns_to_seconds(now - card_start_ns)
+                   << " s, best delay " << result.estimated_delay_by_k.back();
+    }
+    // Rolling memory for one-shot runs: cardinality i-1's layer is dead
+    // once cardinality i completed (cardinality i+1 reads only layer i, the
+    // re-ranking only layer k).
+    if (!memo_.retain && i >= 2) {
+      memo_.lists[i - 2].clear();
+      memo_.lists[i - 2].shrink_to_fit();
+    }
+  }
+
+  result.members = result.set_by_k.back();
+  result.estimated_delay = result.estimated_delay_by_k.back();
+  result.evaluated_delay = result.estimated_delay;
+  {
+    obs::ScopedSpan eval_span("topk.stage.evaluate");
+    evaluate.finalize();
+  }
+  result.stats.threads = threads;
+  result.stats.runtime_s = obs::ns_to_seconds(obs::now_ns() - run_start_ns);
+
+  if (!cold) {
+    std::size_t frontier = 0;
+    for (char f : need) frontier += f != 0;
+    reg.gauge("session.dirty_victims").set(static_cast<double>(frontier));
+    log::info() << "session: what-if re-enumerated " << work_victims
+                << " victim sweeps across " << frontier << " of " << num_nets
+                << " nets";
+  }
+
+  // Publish the per-query prune tallies and fill the counter-derived stats
+  // fields from the registry (zero when observability is compiled out).
+  c_dominance.add(result.stats.prune.removed_dominated);
+  c_beam.add(result.stats.prune.removed_beam);
+  result.stats.sets_generated = c_sets.value() - sets_before;
+  reg.gauge("topk.max_list_size")
+      .set(static_cast<double>(result.stats.max_list_size));
+  reg.gauge("topk.runtime_s").set(result.stats.runtime_s);
+
+  log::info() << "topk: done in " << result.stats.runtime_s << " s, "
+              << result.stats.sets_generated << " sets generated, "
+              << result.stats.prune.removed_dominated << " dominance-pruned, "
+              << result.stats.prune.removed_beam << " beam-capped, delay "
+              << result.baseline_delay << " -> " << result.evaluated_delay;
+  return result;
+}
+
+}  // namespace tka::session

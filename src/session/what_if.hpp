@@ -1,0 +1,36 @@
+// A what-if repair edit against a session's private design copy.
+//
+// Each edit is one of the physical fixes a noise-repair loop applies after
+// reading a top-k report: decouple a coupling (zero it), shield it (zero it
+// and add its value to both endpoints' ground load), or swap a victim's
+// driver for a stronger drive variant of the same cell function.
+#pragma once
+
+#include <vector>
+
+#include "layout/parasitics.hpp"
+#include "net/netlist.hpp"
+
+namespace tka::session {
+
+struct WhatIfEdit {
+  /// Couplings fixed by decoupling: cap value -> 0.
+  std::vector<layout::CapId> zero_couplings;
+  /// Couplings fixed by shield insertion: cap -> 0, value folded into both
+  /// endpoints' ground capacitance (the load stays, the noise path goes).
+  std::vector<layout::CapId> shield_couplings;
+
+  /// Driver swap: replace the gate's cell with a same-function,
+  /// same-pin-count drive variant from the library.
+  struct Resize {
+    net::GateId gate = net::kInvalidGate;
+    std::size_t cell_index = 0;
+  };
+  std::vector<Resize> resizes;
+
+  bool empty() const {
+    return zero_couplings.empty() && shield_couplings.empty() && resizes.empty();
+  }
+};
+
+}  // namespace tka::session

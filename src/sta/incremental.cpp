@@ -7,17 +7,6 @@
 #include "util/assert.hpp"
 
 namespace tka::sta {
-namespace {
-
-constexpr double kEps = 1e-15;
-
-bool window_equal(const TimingWindow& a, const TimingWindow& b) {
-  return std::abs(a.eat - b.eat) < kEps && std::abs(a.lat - b.lat) < kEps &&
-         std::abs(a.trans_early - b.trans_early) < kEps &&
-         std::abs(a.trans_late - b.trans_late) < kEps;
-}
-
-}  // namespace
 
 IncrementalSta::IncrementalSta(const net::Netlist& nl, const DelayModel& model,
                                const StaOptions& options)
@@ -26,8 +15,33 @@ IncrementalSta::IncrementalSta(const net::Netlist& nl, const DelayModel& model,
   level_ = net::net_levels(nl);
 }
 
+IncrementalSta::IncrementalSta(const net::Netlist& nl, const DelayModel& model,
+                               const StaOptions& options, StaResult state,
+                               std::vector<double> lat_bump)
+    : nl_(&nl),
+      model_(&model),
+      options_(options),
+      result_(std::move(state)),
+      bump_(std::move(lat_bump)) {
+  TKA_ASSERT(result_.windows.size() == nl.num_nets());
+  TKA_ASSERT(result_.gate_delay.size() == nl.num_gates());
+  TKA_ASSERT(bump_.empty() || bump_.size() == nl.num_nets());
+  level_ = net::net_levels(nl);
+}
+
 void IncrementalSta::invalidate_net(net::NetId net) {
   TKA_ASSERT(net < nl_->num_nets());
+  dirty_.insert({level_[net], net});
+}
+
+void IncrementalSta::set_lat_bump(net::NetId net, double bump) {
+  TKA_ASSERT(net < nl_->num_nets());
+  if (bump_.empty()) {
+    if (bump == 0.0) return;
+    bump_.assign(nl_->num_nets(), 0.0);
+  }
+  if (bump_[net] == bump) return;  // exact: replaying equal bumps is free
+  bump_[net] = bump;
   dirty_.insert({level_[net], net});
 }
 
@@ -55,7 +69,8 @@ void IncrementalSta::recompute_net(net::NetId id) {
     w.lat = lat + result_.gate_delay[n.driver];
     w.trans_early = w.trans_late = result_.gate_trans[n.driver];
   }
-  const bool changed = !window_equal(w, result_.windows[id]);
+  if (!bump_.empty()) w.lat += bump_[id];
+  const bool changed = !(w == result_.windows[id]);
   result_.windows[id] = w;
   if (changed) {
     for (const net::PinRef& pin : nl_->net(id).fanouts) {
@@ -66,14 +81,15 @@ void IncrementalSta::recompute_net(net::NetId id) {
 }
 
 size_t IncrementalSta::update() {
-  size_t changed_nets = 0;
+  last_changed_.clear();
   while (!dirty_.empty()) {
     const auto [lv, id] = *dirty_.begin();
     dirty_.erase(dirty_.begin());
     const TimingWindow before = result_.windows[id];
     recompute_net(id);
-    if (!window_equal(before, result_.windows[id])) ++changed_nets;
+    if (!(before == result_.windows[id])) last_changed_.push_back(id);
   }
+  std::sort(last_changed_.begin(), last_changed_.end());
   // Refresh the worst-PO summary.
   result_.max_lat = -std::numeric_limits<double>::infinity();
   result_.worst_po = net::kInvalidNet;
@@ -91,7 +107,7 @@ size_t IncrementalSta::update() {
       }
     }
   }
-  return changed_nets;
+  return last_changed_.size();
 }
 
 }  // namespace tka::sta

@@ -2,7 +2,9 @@
 // for the top-k set) touch a handful of nets per cycle; re-propagating only
 // the affected fanout cone keeps each cycle cheap. Results are bit-exact
 // with a full run_sta() over the same state — the update is a worklist
-// topological sweep that stops where arrivals stop changing.
+// topological sweep that stops where arrivals stop changing, and a net is
+// only left untouched when recomputing it would reproduce the identical
+// (bitwise) window.
 #pragma once
 
 #include <set>
@@ -19,6 +21,15 @@ class IncrementalSta {
   IncrementalSta(const net::Netlist& nl, const DelayModel& model,
                  const StaOptions& options = {});
 
+  /// Adopts a previously computed `state` (and the per-net LAT bumps it was
+  /// computed under) instead of running a full STA. The incremental noise
+  /// fixpoint replays recorded iterations this way: adopt the old
+  /// iteration's windows, apply the new bumps and edit cone, update().
+  /// `lat_bump` may be empty (all zero).
+  IncrementalSta(const net::Netlist& nl, const DelayModel& model,
+                 const StaOptions& options, StaResult state,
+                 std::vector<double> lat_bump);
+
   /// Current timing (valid after construction and after each update()).
   const StaResult& result() const { return result_; }
 
@@ -26,9 +37,17 @@ class IncrementalSta {
   /// driver's delay and the downstream cone will be refreshed.
   void invalidate_net(net::NetId net);
 
+  /// Sets the net's LAT bump (extra latest-path delay, see run_sta). The
+  /// net is invalidated only when the value actually differs (exact
+  /// compare), so replaying an unchanged bump vector is free.
+  void set_lat_bump(net::NetId net, double bump);
+
   /// Re-propagates all invalidated cones. Returns the number of nets whose
-  /// arrival actually changed.
+  /// window actually changed; last_changed() lists them.
   size_t update();
+
+  /// Nets whose window changed during the last update(), ascending id.
+  const std::vector<net::NetId>& last_changed() const { return last_changed_; }
 
  private:
   void recompute_net(net::NetId net);
@@ -37,8 +56,10 @@ class IncrementalSta {
   const DelayModel* model_;
   StaOptions options_;
   StaResult result_;
+  std::vector<double> bump_;          // per-net LAT bump (empty = all zero)
   std::vector<int> level_;            // topological level per net
   std::set<std::pair<int, net::NetId>> dirty_;  // level-ordered worklist
+  std::vector<net::NetId> last_changed_;
 };
 
 }  // namespace tka::sta

@@ -22,6 +22,12 @@ struct TimingWindow {
   bool overlaps(const TimingWindow& other) const {
     return eat <= other.lat && other.eat <= lat;
   }
+
+  /// Exact (bitwise) member equality. The incremental machinery relies on
+  /// this being *exact*: a net is only reused when recomputing it would
+  /// reproduce the identical double, which is what makes incremental
+  /// results bit-identical to a cold pass.
+  friend bool operator==(const TimingWindow& a, const TimingWindow& b) = default;
 };
 
 /// Per-net window table (indexed by NetId).

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "runtime/runtime.hpp"
+#include "topk/stages/baseline_stage.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -46,13 +47,11 @@ std::optional<BruteForceResult> brute_force_topk(
       deadline_hit.store(true, std::memory_order_relaxed);
       return false;
     }
-    noise::CouplingMask mask = addition
-                                   ? noise::CouplingMask::none(par.num_couplings())
-                                   : noise::CouplingMask::all(par.num_couplings());
-    for (size_t idx : combo) mask.set(pool[idx], addition);
-    const noise::NoiseReport rep =
-        noise::analyze_iterative(nl, par, model, calc, mask, iter_opt);
-    delay = rep.noisy_delay;
+    std::vector<layout::CapId> members;
+    members.reserve(combo.size());
+    for (size_t idx : combo) members.push_back(pool[idx]);
+    delay = stages::BaselineStage::masked_delay({&nl, &par, &model, &calc},
+                                                members, opt.mode, iter_opt);
     return true;
   };
   auto record = [&](const std::vector<size_t>& combo, double delay) {

@@ -1,0 +1,50 @@
+// EvaluateStage: per-cardinality sink selection (single-PO winners in
+// addition mode, virtual-sink unions across the hottest POs in elimination
+// mode) and the final exact re-evaluation / re-ranking of the finalists.
+//
+// Serial on the orchestrating thread except the finalist re-evaluation,
+// which fans the candidate fixpoints out over the worker pool and reduces
+// the winner in index order (strict-better, first wins).
+#pragma once
+
+#include <utility>
+
+#include "topk/stages/stage_context.hpp"
+
+namespace tka::topk::stages {
+
+class EvaluateStage {
+ public:
+  /// Binds one query; derives the hot-PO list from the current windows.
+  explicit EvaluateStage(QueryContext* ctx);
+
+  /// Sink selection for cardinality i: appends the winning set, its
+  /// estimated delay and the finalist runners-up to the result trail.
+  void select(std::size_t i);
+
+  /// Exact re-evaluation of the chosen set plus up to rerank_top finalists.
+  void finalize();
+
+ private:
+  // Virtual-sink candidate (elimination): per-PO reduction contributions,
+  // combined across the worst few POs (the paper's single "sink node",
+  // generalized).
+  struct SinkSet {
+    std::vector<layout::CapId> members;
+    std::vector<std::pair<net::NetId, double>> per_po;  // reduction at PO
+    double est_delay = 0.0;
+  };
+  static constexpr std::size_t kSinkPoLimit = 8;
+  static constexpr std::size_t kSinkBeam = 64;
+  static constexpr std::size_t kFinalists = 6;
+
+  double sink_est_delay(const SinkSet& s) const;
+  std::vector<layout::CapId> pad_to(std::vector<layout::CapId> members,
+                                    std::size_t card) const;
+
+  QueryContext* ctx_;
+  std::vector<net::NetId> hot_pos_;
+  std::vector<std::vector<SinkSet>> sink_lists_;  // [cardinality]
+};
+
+}  // namespace tka::topk::stages

@@ -1,0 +1,29 @@
+// PruneStage: reduces a victim's generated candidates to the irredundant
+// list (dominance pruning + beam cap), records the per-victim winner trail,
+// and publishes the level-barrier snapshots elimination's higher-order
+// atoms read.
+#pragma once
+
+#include <span>
+
+#include "topk/stages/stage_context.hpp"
+
+namespace tka::topk::stages {
+
+class PruneStage {
+ public:
+  /// Step 4+5 for one victim: reduce the live list, record list-size
+  /// telemetry and the cardinality-i winner. Parallel-safe per level.
+  static void reduce(const QueryContext& ctx, net::NetId v, std::size_t i,
+                     PruneStats* prune_out, std::size_t* max_list_out);
+
+  /// Elimination only, called at each level barrier with the FULL level
+  /// (clean victims included): snapshots dirty victims' sweep-0 lists for
+  /// the next query and publishes every victim's current winner for
+  /// higher-order reads. Serial, on the orchestrating thread.
+  static void publish(const QueryContext& ctx,
+                      std::span<const net::NetId> level, std::size_t i,
+                      int sweep);
+};
+
+}  // namespace tka::topk::stages

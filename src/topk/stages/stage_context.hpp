@@ -1,0 +1,166 @@
+// Shared state of the staged top-k pipeline (docs/ARCHITECTURE.md).
+//
+// A query runs four stages over one QueryContext:
+//   BaselineStage  — STA + noiseless/noisy fixpoints and every per-victim
+//                    derived quantity (windows, envelopes, intervals).
+//   CandidateStage — primary extensions, pseudo propagation and the
+//                    higher-order widening atoms for one victim.
+//   PruneStage     — dominance + beam reduction, winner recording and the
+//                    level-barrier snapshot publication.
+//   EvaluateStage  — sink selection per cardinality and the final exact
+//                    re-evaluation / re-ranking.
+//
+// The structs here are owned by session::AnalysisSession and persist across
+// queries: a what-if query re-runs the stages only over the victims whose
+// inputs changed (change-driven — a rebuilt list that comes out identical
+// stops the dirtiness wave), reading every clean victim's memoized lists.
+// A cold query is the degenerate case where everything is rebuilt.
+#pragma once
+
+#include <cstddef>
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "noise/aggressor_filter.hpp"
+#include "noise/incremental_fixpoint.hpp"
+#include "obs/metrics.hpp"
+#include "topk/irredundant_list.hpp"
+#include "topk/topk_engine.hpp"
+
+namespace tka::topk::stages {
+
+/// The analyzed design, by reference. The session guarantees these outlive
+/// every stage call.
+struct DesignRef {
+  const net::Netlist* nl = nullptr;
+  const layout::Parasitics* par = nullptr;
+  const sta::DelayModel* model = nullptr;
+  const noise::CouplingCalculator* calc = nullptr;
+};
+
+/// Everything BaselineStage derives from the fixpoints, persisted across
+/// queries. refresh() updates only the entries an edit actually moved.
+struct BaselineState {
+  bool addition = true;
+  double vdd = 0.0;
+
+  /// The mask=all fixpoint (elimination start / addition reference), with
+  /// its recorded trajectory for incremental re-convergence.
+  std::unique_ptr<noise::IncrementalFixpoint> fixpoint;
+  std::unique_ptr<noise::NoiseAnalyzer> analyzer;
+  /// Envelope cache over `windows`; survives refresh() so only invalidated
+  /// entries rebuild.
+  std::unique_ptr<noise::EnvelopeBuilder> builder;
+  std::unique_ptr<noise::AggressorFilter> filter;
+
+  /// Mode-selected window view into the fixpoint report (noiseless for
+  /// addition, noisy for elimination). Stable across refresh().
+  const sta::WindowTable* windows = nullptr;
+
+  std::vector<std::vector<layout::CapId>> active_caps;  // per victim
+  std::vector<double> vic_t50;
+  std::vector<wave::Pwl> vic_wave;
+  std::vector<wave::Pwl> total_env;  // elimination only
+  std::vector<double> dn_total;      // elimination only
+  std::vector<double> local_ub;      // per-net delay-noise upper bound
+  std::vector<double> cum_ub;        // path-accumulated upper bound
+  std::vector<wave::DominanceInterval> iv;
+  std::vector<char> full_victim;
+  std::vector<double> base_slack;  // only when the slack gate / fallback is on
+  std::vector<net::NetId> topo;
+  std::vector<layout::CapId> caps_by_size;  // descending cap_pf, for padding
+  std::vector<net::NetId> sinks;
+};
+
+/// Memoized enumeration state per (cardinality, victim), persisted across
+/// queries. The lists ARE the live working storage: a query's CandidateStage
+/// clears and rebuilds exactly the dirty victims' lists, so after any query
+/// the memo equals what a cold run on the current design would have built.
+struct SweepMemo {
+  std::size_t k = 0;
+  /// Keep all cardinality layers alive after the query (required for
+  /// what_if). When false the orchestrator frees layer i-1 once cardinality
+  /// i+1 completes, matching the two-layer memory of a one-shot run.
+  bool retain = true;
+  std::vector<std::vector<IList>> lists;  // [cardinality-1][net]
+  /// Elimination only (retain mode): each dirty victim's list contents at
+  /// the end of sweep 0, so the next query's dirty victims can replay their
+  /// sweep-0 reads of clean fanins exactly.
+  std::vector<std::vector<std::vector<CandidateSet>>> sweep0;
+  std::vector<std::vector<double>> winner_score;  // [net][cardinality]
+  std::vector<std::vector<std::vector<layout::CapId>>> winner_members;
+};
+
+/// Barrier-published per-net winner snapshot (elimination higher-order
+/// reads). Reset per cardinality, published per level.
+struct BestSnap {
+  bool valid = false;
+  double score = -1.0;
+  std::vector<layout::CapId> members;
+};
+
+/// IList::best() over a snapshot vector: strictly-greater scan, first wins
+/// on ties — byte-for-byte the same tie-breaking as the live list.
+inline const CandidateSet* best_of(std::span<const CandidateSet> sets) {
+  const CandidateSet* best = &sets.front();
+  for (const CandidateSet& s : sets) {
+    if (s.score > best->score) best = &s;
+  }
+  return best;
+}
+
+/// One query's view over the session state, threaded through every stage.
+struct QueryContext {
+  DesignRef design;
+  const TopkOptions* opt = nullptr;
+  noise::IterativeOptions iter_opt;  // threads resolved
+  int threads = 1;
+  std::size_t k = 0;
+  bool addition = true;
+
+  BaselineState* base = nullptr;
+  SweepMemo* memo = nullptr;
+  /// Warm queries point this at the session's per-cardinality "rebuilt at
+  /// sweep 0" table (reset each cardinality, set when a victim enters the
+  /// sweep-0 batch); nullptr = cold query (every victim rebuilt).
+  const std::vector<char>* dirty = nullptr;
+  std::vector<BestSnap>* ho_snap = nullptr;  // elimination only
+  TopkResult* result = nullptr;
+
+  /// Full-fixpoint circuit delay with exactly `members` active (addition)
+  /// or removed (elimination). Cold queries run the iterative analysis from
+  /// scratch; warm queries clone the session's primed fixpoint.
+  std::function<double(std::span<const layout::CapId>,
+                       const noise::IterativeOptions&)>
+      evaluate;
+
+  // Hot metric handles, hoisted once per query.
+  obs::Counter* c_sets = nullptr;
+  obs::Counter* c_gen_cap = nullptr;
+  obs::Counter* c_surviving = nullptr;
+  obs::Histogram* h_ilist = nullptr;
+
+  bool is_dirty(net::NetId v) const {
+    return dirty == nullptr || (*dirty)[v] != 0;
+  }
+
+  /// The candidate sets of net `u` at `card` as a reader in `sweep` sees
+  /// them. Rebuilt nets expose their live list; a net not rebuilt this
+  /// cardinality kept its stored final state, which is exactly what this
+  /// sweep would have produced — except elimination sweep 0, where the
+  /// net's *sweep-0* snapshot from its own last rebuild is the
+  /// bit-identical stand-in (its final state includes sweep-1 refinement
+  /// a sweep-0 reader must not see).
+  std::span<const CandidateSet> sets_of(net::NetId u, std::size_t card,
+                                        int sweep) const {
+    if (!addition && sweep == 0 && !is_dirty(u)) {
+      return memo->sweep0[card - 1][u];
+    }
+    return memo->lists[card - 1][u].sets();
+  }
+};
+
+}  // namespace tka::topk::stages

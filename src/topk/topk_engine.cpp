@@ -1,799 +1,26 @@
+// Thin wrapper over the staged pipeline: a one-shot run is a single-query
+// AnalysisSession with candidate retention off (two-layer rolling memory).
+// The stages themselves live in src/topk/stages/, the orchestration in
+// src/session/analysis_session.cpp.
 #include "topk/topk_engine.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-
-#include "net/topo.hpp"
-#include "obs/obs.hpp"
-#include "runtime/runtime.hpp"
-#include "runtime/wavefront.hpp"
-#include "sta/critical_path.hpp"
-#include "util/assert.hpp"
-#include "util/logging.hpp"
-#include "util/string_util.hpp"
+#include "session/analysis_session.hpp"
+#include "topk/stages/baseline_stage.hpp"
 
 namespace tka::topk {
-namespace {
 
-constexpr double kShiftEps = 1e-9;  // ignore sub-picosecond pseudo shifts
-
-// Per-victim candidate-generation ceiling. Only reachable when both
-// dominance pruning and the beam cap are disabled (the blow-up the paper's
-// §3.2 prevents); keeps such runs bounded instead of exhausting memory.
-constexpr size_t kGenerationCap = 40000;
-
-}  // namespace
-
-double TopkEngine::evaluate_set(std::span<const layout::CapId> members, Mode mode,
-                                const noise::IterativeOptions& iterative) const {
-  noise::CouplingMask mask = (mode == Mode::kAddition)
-                                 ? noise::CouplingMask::none(par_->num_couplings())
-                                 : noise::CouplingMask::all(par_->num_couplings());
-  for (layout::CapId id : members) mask.set(id, mode == Mode::kAddition);
-  const noise::NoiseReport report =
-      noise::analyze_iterative(*nl_, *par_, *model_, *calc_, mask, iterative);
-  return report.noisy_delay;
+TopkResult TopkEngine::run(const TopkOptions& options) const {
+  session::SessionOptions sopt;
+  sopt.retain_candidates = false;
+  session::AnalysisSession s(*nl_, *par_, *model_, *calc_, sopt);
+  return s.run(options);
 }
 
-TopkResult TopkEngine::run(const TopkOptions& opt) const {
-  TKA_ASSERT(opt.k >= 1);
-  // All run timing below comes from the obs monotonic clock so TopkStats,
-  // span durations and registry values agree with each other.
-  const std::int64_t run_start_ns = obs::now_ns();
-  const int threads = runtime::resolve_threads(opt.threads);
-  // The fixpoints the engine itself launches (baseline, re-evaluation)
-  // inherit the run's worker count unless the caller pinned their own.
-  noise::IterativeOptions iter_opt = opt.iterative;
-  if (iter_opt.threads == 0) iter_opt.threads = threads;
-  obs::ScopedSpan run_span("topk.run");
-  run_span.arg("k", static_cast<std::int64_t>(opt.k))
-      .arg("mode", opt.mode == Mode::kAddition ? "addition" : "elimination")
-      .arg("threads", static_cast<std::int64_t>(threads));
-
-  // Per-run metric handles, hoisted out of the hot loops. TopkStats counter
-  // fields are populated from registry deltas at the end of the run (and
-  // therefore read 0 when observability is compiled out).
-  obs::MetricsRegistry& reg = obs::registry();
-  obs::Counter& c_sets = reg.counter("topk.sets_generated");
-  obs::Counter& c_dominance = reg.counter("topk.dominance_pruned");
-  obs::Counter& c_beam = reg.counter("topk.beam_capped");
-  obs::Counter& c_gen_cap = reg.counter("topk.generation_capped");
-  obs::Histogram& h_ilist = reg.histogram("topk.ilist_size", 1.0, 65536.0);
-  reg.counter("topk.runs").add(1);
-  const std::uint64_t sets_before = c_sets.value();
-
-  TopkResult result;
-  result.mode = opt.mode;
-
-  const size_t num_nets = nl_->num_nets();
-  const size_t num_caps = par_->num_couplings();
-  const noise::CouplingMask mask_all = noise::CouplingMask::all(num_caps);
-  noise::NoiseAnalyzer analyzer(*nl_, *par_, *model_);
-  const double vdd = analyzer.vdd();
-
-  log::info() << "topk: start k=" << opt.k << " mode="
-              << (opt.mode == Mode::kAddition ? "addition" : "elimination")
-              << " nets=" << num_nets << " couplings=" << num_caps;
-
-  // Baseline analyses. The all-aggressor fixpoint is always computed: it is
-  // the elimination starting point and the addition reference.
-  {
-    obs::ScopedSpan baseline_span("topk.baseline");
-    result.all_aggressor_report = noise::analyze_iterative(
-        *nl_, *par_, *model_, *calc_, mask_all, iter_opt);
-  }
-  const noise::NoiseReport& all_rep = result.all_aggressor_report;
-
-  const bool addition = (opt.mode == Mode::kAddition);
-  const sta::WindowTable& windows =
-      addition ? all_rep.noiseless_windows : all_rep.noisy_windows;
-  if (addition) {
-    result.baseline_delay = all_rep.noiseless_delay;
-    result.reference_delay = all_rep.noisy_delay;
-  } else {
-    result.baseline_delay = all_rep.noisy_delay;
-    result.reference_delay = all_rep.noiseless_delay;
-  }
-
-  noise::EnvelopeBuilder builder(*nl_, *par_, *calc_, windows);
-
-  // Victim reference t50: in elimination mode the victim transition is the
-  // net's noisy arrival minus its own local noise (upstream noise stays in).
-  std::vector<double> vic_t50(num_nets);
-  for (net::NetId v = 0; v < num_nets; ++v) {
-    vic_t50[v] = addition ? windows[v].lat
-                          : windows[v].lat - all_rep.delay_noise[v];
-  }
-
-  // False-aggressor prefilter and the per-victim active coupling lists.
-  std::unique_ptr<noise::AggressorFilter> filter;
-  if (opt.use_filter) {
-    filter = std::make_unique<noise::AggressorFilter>(*nl_, *par_, analyzer,
-                                                      builder, opt.filter);
-  }
-  std::vector<std::vector<layout::CapId>> active_caps(num_nets);
-  for (layout::CapId id = 0; id < num_caps; ++id) {
-    const layout::CouplingCap& cc = par_->coupling(id);
-    if (cc.cap_pf <= 0.0) continue;
-    for (const net::NetId v : {cc.net_a, cc.net_b}) {
-      if (filter && filter->is_false(v, id)) continue;
-      active_caps[v].push_back(id);
-    }
-  }
-  if (opt.max_primary_per_victim > 0) {
-    for (auto& caps : active_caps) {
-      if (caps.size() <= opt.max_primary_per_victim) continue;
-      std::sort(caps.begin(), caps.end(), [&](layout::CapId a, layout::CapId b) {
-        return par_->coupling(a).cap_pf > par_->coupling(b).cap_pf;
-      });
-      caps.resize(opt.max_primary_per_victim);
-      std::sort(caps.begin(), caps.end());
-    }
-  }
-
-  // Victim transitions and (elimination) total envelopes.
-  std::vector<wave::Pwl> vic_wave(num_nets);
-  std::vector<wave::Pwl> total_env(num_nets);
-  std::vector<double> dn_total(num_nets, 0.0);
-  for (net::NetId v = 0; v < num_nets; ++v) {
-    const double trans = std::max(windows[v].trans_late, 1e-4);
-    vic_wave[v] = wave::make_rising_ramp(vic_t50[v], trans, vdd);
-    if (!addition && !active_caps[v].empty()) {
-      std::vector<const wave::Pwl*> terms;
-      for (layout::CapId id : active_caps[v]) {
-        const wave::Pwl& e = builder.envelope(v, id);
-        if (!e.empty()) terms.push_back(&e);
-      }
-      total_env[v] = wave::Pwl::sum(terms).simplified(opt.envelope_tol);
-      dn_total[v] = noise::delay_noise(vic_wave[v], total_env[v], vdd, vic_t50[v]);
-    }
-  }
-
-  // Mode-uniform score: larger is "more impactful". Elimination uses the
-  // *signed* residual shift: removing pseudo aggressors can move the
-  // transition earlier than the local-noiseless reference, and that benefit
-  // must not be clamped away.
-  auto score_env = [&](net::NetId v, const wave::Pwl& env) {
-    if (addition) return noise::delay_noise(vic_wave[v], env, vdd, vic_t50[v]);
-    const double residual =
-        noise::delay_shift(vic_wave[v], total_env[v].minus(env), vdd, vic_t50[v]);
-    return std::max(0.0, dn_total[v] - residual);
-  };
-
-  // Dominance intervals with propagated upper bounds: cum_ub accumulates
-  // the primary upper bound down every path so pseudo envelopes are also
-  // covered by the interval.
-  const std::vector<net::NetId> topo = net::topological_nets(*nl_);
-  std::vector<double> cum_ub(num_nets, 0.0);
-  for (net::NetId v : topo) {
-    double ub = analyzer.delay_noise_upper_bound(v, builder, mask_all);
-    const net::Net& n = nl_->net(v);
-    double fanin_ub = 0.0;
-    if (n.driver != net::kInvalidGate) {
-      for (net::NetId in : nl_->gate(n.driver).inputs) {
-        fanin_ub = std::max(fanin_ub, cum_ub[in]);
-      }
-    }
-    cum_ub[v] = ub + fanin_ub;
-  }
-  std::vector<wave::DominanceInterval> iv(num_nets);
-  for (net::NetId v = 0; v < num_nets; ++v) {
-    iv[v] = {vic_t50[v], vic_t50[v] + cum_ub[v] + 1e-6};
-  }
-
-  // Victim restriction by slack (primaries only; pseudo always propagates).
-  // Slacks are also the fallback sink estimate when pseudo propagation is
-  // disabled (ablation): a victim's noise is then assumed to ride its worst
-  // path to the sink unclamped.
-  std::vector<char> full_victim(num_nets, 1);
-  std::vector<double> base_slack;
-  if (std::isfinite(opt.victim_slack_threshold) || !opt.use_pseudo) {
-    const sta::StaResult base_sta = sta::run_sta(*nl_, *model_, opt.iterative.sta);
-    base_slack = sta::net_slacks(*nl_, base_sta);
-    if (std::isfinite(opt.victim_slack_threshold)) {
-      for (net::NetId v = 0; v < num_nets; ++v) {
-        full_victim[v] = base_slack[v] <= opt.victim_slack_threshold ? 1 : 0;
-      }
-    }
-  }
-
-  // Winner trail per (net, cardinality): score and members.
-  const size_t k = static_cast<size_t>(opt.k);
-  std::vector<std::vector<double>> winner_score(num_nets,
-                                                std::vector<double>(k + 1, -1.0));
-  std::vector<std::vector<std::vector<layout::CapId>>> winner_members(
-      num_nets, std::vector<std::vector<layout::CapId>>(k + 1));
-
-  // Previous- and current-cardinality layers.
-  std::vector<std::vector<CandidateSet>> prev(num_nets);
-  for (net::NetId v = 0; v < num_nets; ++v) {
-    if (full_victim[v]) prev[v].push_back(CandidateSet{});  // the empty set
-  }
-  std::vector<IList> cur(num_nets);
-
-  const std::vector<net::NetId> pos = nl_->primary_outputs();
-  std::vector<net::NetId> sinks = pos;
-  if (sinks.empty()) sinks.push_back(all_rep.worst_po);
-
-  // Active caps sorted by size, for padding: a winning set of cardinality
-  // j < i is still the best exactly-i choice when a victim's couplings run
-  // out — the budget is completed with the largest unused caps (adding more
-  // aggressors never lowers the addition delay; removing more never raises
-  // the elimination one).
-  std::vector<layout::CapId> caps_by_size;
-  for (layout::CapId id = 0; id < num_caps; ++id) {
-    if (par_->coupling(id).cap_pf > 0.0) caps_by_size.push_back(id);
-  }
-  std::sort(caps_by_size.begin(), caps_by_size.end(),
-            [&](layout::CapId a, layout::CapId b) {
-              return par_->coupling(a).cap_pf > par_->coupling(b).cap_pf;
-            });
-  auto pad_to = [&](std::vector<layout::CapId> members, size_t card) {
-    for (layout::CapId id : caps_by_size) {
-      if (members.size() >= card) break;
-      std::vector<layout::CapId> merged;
-      if (union_with(members, id, merged)) members = std::move(merged);
-    }
-    return members;
-  };
-
-  // Virtual-sink state (elimination): the circuit delay is the max over all
-  // POs, so the best removal set can span several PO cones. Candidate sink
-  // sets carry per-PO reduction contributions and are combined across the
-  // worst few POs (the paper's single "sink node", generalized). Addition
-  // needs no cross-PO unions: max(lat_q + add_q) is always maximized by
-  // concentrating the whole budget on one PO.
-  struct SinkSet {
-    std::vector<layout::CapId> members;
-    std::vector<std::pair<net::NetId, double>> per_po;  // reduction at PO
-    double est_delay = 0.0;
-  };
-  constexpr size_t kSinkPoLimit = 8;
-  constexpr size_t kSinkBeam = 64;
-  std::vector<net::NetId> hot_pos = sinks;
-  std::sort(hot_pos.begin(), hot_pos.end(), [&](net::NetId a, net::NetId b) {
-    return windows[a].lat > windows[b].lat;
-  });
-  if (hot_pos.size() > kSinkPoLimit) hot_pos.resize(kSinkPoLimit);
-  auto sink_est_delay = [&](const SinkSet& s) {
-    double worst = 0.0;
-    for (net::NetId q : sinks) {
-      double red = 0.0;
-      for (const auto& [p, r] : s.per_po) {
-        if (p == q) red = r;
-      }
-      worst = std::max(worst, windows[q].lat - red);
-    }
-    return worst;
-  };
-  std::vector<std::vector<SinkSet>> sink_lists(k + 1);
-
-  // Victims within one topological level never feed each other's driver
-  // cone, so each level is one parallel batch with a barrier in between
-  // (runtime/wavefront.hpp). All cross-victim reads inside a batch are of
-  // completed earlier levels (fanins for pseudo propagation) or of
-  // barrier-published snapshots (elimination higher-order, below); every
-  // write lands in the victim's own pre-sized slot, and all reductions run
-  // on the calling thread in index order — so the result is bit-identical
-  // for every thread count, including the serial --threads 1 fallback
-  // which walks the same wavefront inline.
-  const runtime::Wavefront wavefront(*nl_);
-
-  // Elimination's higher-order atoms read the coupled aggressor's
-  // *current*-cardinality winner. Under the wavefront that winner is
-  // published at the aggressor's level barrier: aggressors at lower levels
-  // expose this sweep's winner, aggressors at the same or a higher level
-  // expose the previous sweep's (nothing yet in sweep 0). The snapshot is
-  // what makes this read race-free and thread-count independent.
-  struct BestSnap {
-    bool valid = false;
-    double score = -1.0;
-    std::vector<layout::CapId> members;
-  };
-  std::vector<BestSnap> ho_snap(addition ? 0 : num_nets);
-
-  // Elimination needs a second sweep per cardinality: its indirect
-  // (window-narrowing) atoms reference the aggressor net's *current*-
-  // cardinality winner, which only exists after the first sweep when the
-  // aggressor follows the victim in the level order. Lists deduplicate,
-  // so the second sweep is a pure refinement.
-  const int sweeps = addition ? 1 : 2;
-  for (size_t i = 1; i <= k; ++i) {
-    const std::int64_t card_start_ns = obs::now_ns();
-    obs::ScopedSpan card_span(str::format("topk.cardinality.%zu", i));
-    for (BestSnap& s : ho_snap) s.valid = false;
-
-    // The per-victim body. Runs on pool workers; everything it touches is
-    // either read-only shared state, the victim's own slot, or the
-    // caller-merged out-params.
-    auto process_victim = [&](net::NetId v, size_t i, int sweep,
-                              PruneStats* prune_out, size_t* max_list_out) {
-      std::vector<layout::CapId> tmp_members;
-      obs::ScopedSpan victim_span("topk.victim");
-      if (victim_span.recording()) {
-        victim_span.arg("net", nl_->net(v).name)
-            .arg("i", static_cast<std::int64_t>(i))
-            .arg("sweep", static_cast<std::int64_t>(sweep));
-      }
-      IList& list = cur[v];
-      if (sweep == 0) list.clear();
-
-      // Step 1: extend I-list_{i-1} with one additional primary aggressor.
-      if (full_victim[v]) {
-        for (const CandidateSet& s : prev[v]) {
-          if (list.size() >= kGenerationCap) {
-            c_gen_cap.add(1);
-            if (log::enabled(log::Level::kDebug)) {
-              log::debug() << "topk: victim " << nl_->net(v).name
-                           << " hit the generation cap at cardinality " << i;
-            }
-            break;
-          }
-          for (layout::CapId cap : active_caps[v]) {
-            const wave::Pwl& cap_env = builder.envelope(v, cap);
-            if (cap_env.empty()) continue;
-            if (!union_with(s.members, cap, tmp_members)) continue;
-            CandidateSet cand;
-            cand.members = tmp_members;
-            cand.envelope = s.envelope.plus(cap_env);
-            if (cand.envelope.size() > 24) {
-              cand.envelope = cand.envelope.simplified(opt.envelope_tol);
-            }
-            cand.score = score_env(v, cand.envelope);
-            c_sets.add(1);
-            list.try_add(std::move(cand));
-          }
-        }
-      }
-
-      const net::Net& n = nl_->net(v);
-
-      // Step 2: pseudo input aggressors of cardinality i from each fanin.
-      if (opt.use_pseudo && n.driver != net::kInvalidGate) {
-        const net::Gate& g = nl_->gate(n.driver);
-        std::vector<double> fanin_lats;
-        fanin_lats.reserve(g.inputs.size());
-        for (net::NetId in : g.inputs) fanin_lats.push_back(windows[in].lat);
-        const double trans = std::max(windows[v].trans_late, 1e-4);
-        auto add_pseudo = [&](std::vector<layout::CapId> members, double shift) {
-          if (shift <= kShiftEps) return;
-          CandidateSet cand;
-          cand.members = std::move(members);
-          cand.envelope = pseudo_envelope(vic_t50[v], trans, vdd, shift, opt.mode);
-          // A propagated set can also couple the victim directly; both
-          // effects are real and additive, so fold the local envelopes of
-          // any member that is a primary of v into the pseudo envelope.
-          for (layout::CapId cap : active_caps[v]) {
-            if (!std::binary_search(cand.members.begin(), cand.members.end(), cap)) {
-              continue;
-            }
-            const wave::Pwl& ce = builder.envelope(v, cap);
-            if (!ce.empty()) cand.envelope = cand.envelope.plus(ce);
-          }
-          if (cand.envelope.size() > 24) {
-            cand.envelope = cand.envelope.simplified(opt.envelope_tol);
-          }
-          cand.score = score_env(v, cand.envelope);
-          c_sets.add(1);
-          list.try_add(std::move(cand));
-        };
-        // Fanins sit at strictly lower levels, so their current-cardinality
-        // lists are complete by this level's barrier.
-        for (size_t j = 0; j < g.inputs.size(); ++j) {
-          const net::NetId u = g.inputs[j];
-          if (cur[u].empty()) continue;
-          const size_t take = opt.propagate_full_ilist ? cur[u].size() : 1;
-          for (size_t si = 0; si < take; ++si) {
-            const CandidateSet& s = opt.propagate_full_ilist
-                                        ? cur[u].sets()[si]
-                                        : cur[u].best();
-            const double shift =
-                propagate_shift(fanin_lats, j, std::max(s.score, 0.0), opt.mode);
-            add_pseudo(s.members, shift);
-          }
-        }
-        // Elimination on reconvergent logic, part 1: the same member set
-        // often reduces several fanins at once (shared fanin cones; a cap's
-        // two victim sides). Gather identical sets across fanins and apply
-        // all their reductions jointly before the max-clamp.
-        if (!addition && g.inputs.size() >= 2) {
-          struct Joint {
-            const std::vector<layout::CapId>* members = nullptr;
-            std::vector<std::pair<size_t, double>> reductions;  // fanin, rho
-          };
-          std::unordered_map<std::uint64_t, Joint> joint;
-          for (size_t j = 0; j < g.inputs.size(); ++j) {
-            const net::NetId u = g.inputs[j];
-            if (cur[u].empty()) continue;
-            for (const CandidateSet& s : cur[u].sets()) {
-              if (s.score <= kShiftEps) continue;
-              Joint& entry = joint[members_hash(s.members)];
-              if (entry.members != nullptr && *entry.members != s.members) {
-                continue;  // hash collision; drop the rarer set
-              }
-              entry.members = &s.members;
-              entry.reductions.emplace_back(j, s.score);
-            }
-          }
-          double max_lat = -std::numeric_limits<double>::infinity();
-          for (double lat : fanin_lats) max_lat = std::max(max_lat, lat);
-          for (const auto& [hash, entry] : joint) {
-            if (entry.reductions.size() < 2) continue;  // singles done above
-            std::vector<double> lats = fanin_lats;
-            for (const auto& [j, rho] : entry.reductions) lats[j] -= rho;
-            double new_max = -std::numeric_limits<double>::infinity();
-            for (double lat : lats) new_max = std::max(new_max, lat);
-            add_pseudo(*entry.members, std::max(0.0, max_lat - new_max));
-          }
-        }
-        // Elimination on reconvergent logic, part 2: speeding up one fanin
-        // is clamped by the other's arrival, so also form balanced unions
-        // of the two latest fanins' winner sets (cardinality j + (i-j)).
-        if (!addition && g.inputs.size() >= 2 && i >= 2) {
-          size_t a_idx = 0;
-          size_t b_idx = 1;
-          if (fanin_lats[b_idx] > fanin_lats[a_idx]) std::swap(a_idx, b_idx);
-          for (size_t j = 2; j < g.inputs.size(); ++j) {
-            if (fanin_lats[j] > fanin_lats[a_idx]) {
-              b_idx = a_idx;
-              a_idx = j;
-            } else if (fanin_lats[j] > fanin_lats[b_idx]) {
-              b_idx = j;
-            }
-          }
-          const net::NetId ua = g.inputs[a_idx];
-          const net::NetId ub = g.inputs[b_idx];
-          for (size_t j = 1; j < i; ++j) {
-            const double ra = winner_score[ua][j];
-            const double rb = winner_score[ub][i - j];
-            if (ra <= kShiftEps || rb <= kShiftEps) continue;
-            if (!union_disjoint(winner_members[ua][j], winner_members[ub][i - j],
-                                tmp_members)) {
-              continue;
-            }
-            double new_max = -std::numeric_limits<double>::infinity();
-            for (size_t fi = 0; fi < g.inputs.size(); ++fi) {
-              double lat = fanin_lats[fi];
-              if (fi == a_idx) lat -= ra;
-              if (fi == b_idx) lat -= rb;
-              new_max = std::max(new_max, lat);
-            }
-            double max_lat = -std::numeric_limits<double>::infinity();
-            for (double lat : fanin_lats) max_lat = std::max(max_lat, lat);
-            add_pseudo(tmp_members, std::max(0.0, max_lat - new_max));
-          }
-        }
-      }
-
-      // Step 3: higher-order aggressors of cardinality i.
-      if (opt.use_higher_order && full_victim[v] && i >= 2) {
-        for (layout::CapId cap : active_caps[v]) {
-          const net::NetId a = par_->coupling(cap).other(v);
-          if (addition) {
-            // The aggressor's own worst (i-1)-set widens its window.
-            const double widen = winner_score[a][i - 1];
-            if (widen <= kShiftEps) continue;
-            if (!union_with(winner_members[a][i - 1], cap, tmp_members)) continue;
-            CandidateSet cand;
-            cand.members = tmp_members;
-            cand.envelope = builder.envelope_widened(v, cap, widen)
-                                .simplified(opt.envelope_tol);
-            cand.score = score_env(v, cand.envelope);
-            c_sets.add(1);
-            list.try_add(std::move(cand));
-          } else {
-            // Elimination: removing the aggressor's own worst i-set narrows
-            // the aggressor window; the removed envelope is the trim of this
-            // cap's envelope (the cap itself stays). Reads the aggressor's
-            // barrier-published snapshot (see ho_snap above), available when
-            // `a`'s level completed before `v`'s this sweep or last sweep.
-            const BestSnap& s = ho_snap[a];
-            if (!s.valid || s.score <= kShiftEps) continue;
-            if (std::binary_search(s.members.begin(), s.members.end(), cap)) continue;
-            const wave::Pwl& full_env = builder.envelope(v, cap);
-            // Narrowed window: the aggressor's noisy LAT retreats by the
-            // reduction; rebuild with a negative extension via the base
-            // (noiseless-LAT) envelope widened by the remaining noise.
-            const wave::Pwl narrowed =
-                builder.envelope_widened(v, cap, -s.score)
-                    .simplified(opt.envelope_tol);
-            wave::Pwl diff = full_env.minus(narrowed).clamped(0.0, vdd);
-            if (diff.peak() <= 1e-9) continue;
-            CandidateSet cand;
-            cand.members = s.members;
-            cand.envelope = diff.simplified(opt.envelope_tol);
-            cand.score = score_env(v, cand.envelope);
-            c_sets.add(1);
-            list.try_add(std::move(cand));
-          }
-        }
-      }
-
-      // Step 4: reduce to the irredundant list. The victim's own caps are
-      // passed so each keeps an extension seed (see IList::reduce).
-      list.reduce(iv[v], opt.dominance_tol, opt.beam_cap, opt.use_dominance,
-                  prune_out, active_caps[v]);
-      h_ilist.observe(static_cast<double>(list.size()));
-      *max_list_out = std::max(*max_list_out, list.size());
-
-      // Step 5: record the per-victim winner of this cardinality.
-      if (!list.empty()) {
-        const CandidateSet& best = list.best();
-        winner_score[v][i] = best.score;
-        winner_members[v][i] = best.members;
-      }
-    };
-
-    for (int sweep = 0; sweep < sweeps; ++sweep) {
-      for (size_t lvl = 0; lvl < wavefront.num_levels(); ++lvl) {
-        const std::span<const net::NetId> batch = wavefront.level(lvl);
-        std::vector<PruneStats> batch_prune(batch.size());
-        std::vector<size_t> batch_max(batch.size(), 0);
-        runtime::parallel_for(threads, 0, batch.size(), [&](size_t bi) {
-          process_victim(batch[bi], i, sweep, &batch_prune[bi], &batch_max[bi]);
-        });
-        // Deterministic reductions on the calling thread, in index order.
-        for (size_t bi = 0; bi < batch.size(); ++bi) {
-          result.stats.prune.considered += batch_prune[bi].considered;
-          result.stats.prune.removed_dominated += batch_prune[bi].removed_dominated;
-          result.stats.prune.removed_beam += batch_prune[bi].removed_beam;
-          result.stats.max_list_size =
-              std::max(result.stats.max_list_size, batch_max[bi]);
-        }
-        // Publish this level's winners for elimination's higher-order reads.
-        if (!addition) {
-          for (net::NetId v : batch) {
-            BestSnap& s = ho_snap[v];
-            if (cur[v].empty()) {
-              s.valid = false;
-              continue;
-            }
-            s.valid = true;
-            s.score = cur[v].best().score;
-            s.members = cur[v].best().members;
-          }
-        }
-      }
-    }
-
-    // Sink selection for cardinality i.
-    constexpr size_t kFinalists = 6;
-    double best_delay = addition ? -std::numeric_limits<double>::infinity()
-                                 : std::numeric_limits<double>::infinity();
-    std::vector<layout::CapId> best_set;
-    std::vector<std::vector<layout::CapId>> finalists;
-    double circuit_floor = 0.0;  // arrival of POs unaffected by the set
-    for (net::NetId p : sinks) circuit_floor = std::max(circuit_floor, windows[p].lat);
-
-    if (addition) {
-      std::vector<std::pair<double, const CandidateSet*>> ranked;
-      for (net::NetId p : sinks) {
-        // A PO's best set of any cardinality j <= i is a valid exactly-i
-        // choice once padded (see pad_to above); lower-j winners matter
-        // when the PO's cone runs out of distinct couplings.
-        for (size_t j = 1; j <= i; ++j) {
-          if (winner_score[p][j] < 0.0) continue;
-          const double arrival = windows[p].lat + winner_score[p][j];
-          if (arrival > best_delay) {
-            best_delay = arrival;
-            best_set = winner_members[p][j];
-          }
-        }
-        if (cur[p].empty()) continue;
-        const CandidateSet& s = cur[p].best();
-        ranked.emplace_back(windows[p].lat + s.score, &s);
-      }
-      if (!opt.use_pseudo) {
-        // Flat fallback: local noise assumed to propagate unclamped along
-        // the victim's worst path (arrival = max_lat - slack + dn).
-        for (net::NetId v = 0; v < num_nets; ++v) {
-          if (cur[v].empty() || !std::isfinite(base_slack[v])) continue;
-          const CandidateSet& s = cur[v].best();
-          const double arrival = circuit_floor - base_slack[v] + s.score;
-          ranked.emplace_back(arrival, &s);
-          if (arrival > best_delay) {
-            best_delay = arrival;
-            best_set = s.members;
-          }
-        }
-      }
-      std::sort(ranked.begin(), ranked.end(),
-                [](const auto& a, const auto& b) { return a.first > b.first; });
-      for (const auto& [arrival, s] : ranked) {
-        if (finalists.size() >= kFinalists) break;
-        finalists.push_back(s->members);
-      }
-      if (best_set.empty()) {
-        // No cardinality-i set anywhere (tiny design / large i): keep the
-        // previous cardinality's choice — a k'-set is a valid k-set choice.
-        best_delay = result.estimated_delay_by_k.empty()
-                         ? circuit_floor
-                         : result.estimated_delay_by_k.back();
-        if (!result.set_by_k.empty()) best_set = result.set_by_k.back();
-      }
-      best_delay = std::max(best_delay, circuit_floor);
-    } else {
-      // Build the virtual-sink list of cardinality i: single-PO sets plus
-      // unions of a lower-cardinality sink set with another PO's set.
-      std::vector<SinkSet>& slist = sink_lists[i];
-      std::vector<layout::CapId> merged;
-      auto push_sink = [&](SinkSet s) {
-        s.est_delay = sink_est_delay(s);
-        slist.push_back(std::move(s));
-      };
-      for (net::NetId p : hot_pos) {
-        for (const CandidateSet& s : cur[p].sets()) {
-          SinkSet ss;
-          ss.members = s.members;
-          ss.per_po = {{p, std::max(s.score, 0.0)}};
-          push_sink(std::move(ss));
-        }
-      }
-      for (size_t j = 1; j < i; ++j) {
-        for (const SinkSet& base : sink_lists[j]) {
-          for (net::NetId p : hot_pos) {
-            bool has_p = false;
-            for (const auto& [q, r] : base.per_po) has_p |= (q == p);
-            if (has_p) continue;  // same-PO compositions live in cur[p]
-            for (const CandidateSet& s : cur[p].sets()) {
-              if (s.members.size() != i - j) continue;
-              if (!union_disjoint(base.members, s.members, merged)) continue;
-              SinkSet ss;
-              ss.members = merged;
-              ss.per_po = base.per_po;
-              ss.per_po.emplace_back(p, std::max(s.score, 0.0));
-              push_sink(std::move(ss));
-            }
-          }
-        }
-      }
-      // Aggregate identical member-sets: one coupling set can reduce
-      // several POs at once (every cap has two victim sides), so merge
-      // per-PO reductions (max per PO) before scoring.
-      std::sort(slist.begin(), slist.end(), [](const SinkSet& a, const SinkSet& b) {
-        return a.members < b.members;
-      });
-      std::vector<SinkSet> merged_list;
-      for (SinkSet& s : slist) {
-        if (!merged_list.empty() && merged_list.back().members == s.members) {
-          SinkSet& dst = merged_list.back();
-          for (const auto& [p, r] : s.per_po) {
-            bool found = false;
-            for (auto& [q, rq] : dst.per_po) {
-              if (q == p) {
-                rq = std::max(rq, r);
-                found = true;
-              }
-            }
-            if (!found) dst.per_po.emplace_back(p, r);
-          }
-        } else {
-          merged_list.push_back(std::move(s));
-        }
-      }
-      for (SinkSet& s : merged_list) s.est_delay = sink_est_delay(s);
-      std::sort(merged_list.begin(), merged_list.end(),
-                [](const SinkSet& a, const SinkSet& b) {
-                  if (a.est_delay != b.est_delay) return a.est_delay < b.est_delay;
-                  return a.members < b.members;
-                });
-      if (merged_list.size() > kSinkBeam) merged_list.resize(kSinkBeam);
-      slist = std::move(merged_list);
-      if (!slist.empty()) {
-        best_delay = slist.front().est_delay;
-        best_set = slist.front().members;
-        for (const SinkSet& s : slist) {
-          if (finalists.size() >= kFinalists) break;
-          finalists.push_back(s.members);
-        }
-        // Removing one more coupling never hurts: keep the curve monotone
-        // when the exact-cardinality list happens to be worse than a
-        // lower-cardinality choice.
-        if (!result.estimated_delay_by_k.empty() &&
-            result.estimated_delay_by_k.back() < best_delay) {
-          best_delay = result.estimated_delay_by_k.back();
-          best_set = result.set_by_k.back();
-        }
-      } else {
-        best_delay = result.estimated_delay_by_k.empty()
-                         ? circuit_floor
-                         : result.estimated_delay_by_k.back();
-        if (!result.set_by_k.empty()) best_set = result.set_by_k.back();
-      }
-    }
-    result.set_by_k.push_back(pad_to(std::move(best_set), i));
-    result.estimated_delay_by_k.push_back(best_delay);
-    result.finalists_by_k.push_back(std::move(finalists));
-    const std::int64_t now = obs::now_ns();
-    result.stats.runtime_by_k.push_back(obs::ns_to_seconds(now - run_start_ns));
-    reg.gauge(str::format("topk.cardinality_runtime_s.k%zu", i))
-        .set(obs::ns_to_seconds(now - card_start_ns));
-    if (log::enabled(log::Level::kDebug)) {
-      log::debug() << "topk: cardinality " << i << " done in "
-                   << obs::ns_to_seconds(now - card_start_ns) << " s, best delay "
-                   << best_delay;
-    }
-
-    // Shift layers: cur becomes prev.
-    for (net::NetId v = 0; v < num_nets; ++v) {
-      prev[v].assign(cur[v].sets().begin(), cur[v].sets().end());
-    }
-  }
-
-  result.members = result.set_by_k.back();
-  result.estimated_delay = result.estimated_delay_by_k.back();
-  result.evaluated_delay = result.estimated_delay;
-  if (opt.reevaluate && !result.members.empty()) {
-    obs::ScopedSpan reevaluate_span("topk.reevaluate");
-    result.evaluated_delay = evaluate_set(result.members, opt.mode, iter_opt);
-    if (opt.rerank_top > 0) {
-      // Exact re-ranking: the estimator is first-order (it does not re-run
-      // the window fixpoint per candidate), so evaluate the best few
-      // final-cardinality candidates across all sinks and keep the true
-      // optimum.
-      std::vector<const std::vector<layout::CapId>*> finalists;
-      if (addition) {
-        std::vector<const CandidateSet*> cands;
-        for (net::NetId p : sinks) {
-          size_t taken = 0;
-          for (const CandidateSet& s : prev[p]) {  // prev now holds I-list_k
-            if (s.members.empty() || s.members == result.members) continue;
-            cands.push_back(&s);
-            if (++taken >= opt.rerank_top) break;
-          }
-        }
-        std::sort(cands.begin(), cands.end(),
-                  [](const CandidateSet* a, const CandidateSet* b) {
-                    return a->score > b->score;
-                  });
-        if (cands.size() > opt.rerank_top) cands.resize(opt.rerank_top);
-        for (const CandidateSet* s : cands) finalists.push_back(&s->members);
-      } else {
-        // Sink lists are already sorted best-first.
-        for (const SinkSet& s : sink_lists[k]) {
-          if (s.members == result.members) continue;
-          finalists.push_back(&s.members);
-          if (finalists.size() >= opt.rerank_top) break;
-        }
-      }
-      // Evaluate finalists in parallel (each fixpoint serial to avoid
-      // oversubscription), then pick the winner in index order so the
-      // strict-better / first-wins tie-breaking matches the serial loop.
-      noise::IterativeOptions finalist_opt = iter_opt;
-      finalist_opt.threads = 1;
-      std::vector<double> finalist_delay(finalists.size(), 0.0);
-      runtime::parallel_for(threads, 0, finalists.size(), [&](size_t fi) {
-        finalist_delay[fi] = evaluate_set(*finalists[fi], opt.mode, finalist_opt);
-      });
-      for (size_t fi = 0; fi < finalists.size(); ++fi) {
-        const double d = finalist_delay[fi];
-        const bool better = addition ? d > result.evaluated_delay
-                                     : d < result.evaluated_delay;
-        if (better) {
-          result.evaluated_delay = d;
-          result.members = *finalists[fi];
-        }
-      }
-    }
-  }
-  result.stats.threads = threads;
-  result.stats.runtime_s = obs::ns_to_seconds(obs::now_ns() - run_start_ns);
-
-  // Publish the per-run prune tallies and fill the counter-derived stats
-  // fields from the registry (zero when observability is compiled out).
-  c_dominance.add(result.stats.prune.removed_dominated);
-  c_beam.add(result.stats.prune.removed_beam);
-  result.stats.sets_generated = c_sets.value() - sets_before;
-  reg.gauge("topk.max_list_size").set(static_cast<double>(result.stats.max_list_size));
-  reg.gauge("topk.runtime_s").set(result.stats.runtime_s);
-
-  log::info() << "topk: done in " << result.stats.runtime_s << " s, "
-              << result.stats.sets_generated << " sets generated, "
-              << result.stats.prune.removed_dominated << " dominance-pruned, "
-              << result.stats.prune.removed_beam << " beam-capped, delay "
-              << result.baseline_delay << " -> " << result.evaluated_delay;
-  return result;
+double TopkEngine::evaluate_set(std::span<const layout::CapId> members,
+                                Mode mode,
+                                const noise::IterativeOptions& iterative) const {
+  return stages::BaselineStage::masked_delay({nl_, par_, model_, calc_},
+                                             members, mode, iterative);
 }
 
 }  // namespace tka::topk

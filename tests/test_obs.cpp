@@ -402,6 +402,9 @@ TEST_F(ObsTest, RegisterCoreMetricsCreatesCatalog) {
   // including the transient histogram, which only fills when the MNA
   // solver is exercised.
   EXPECT_TRUE(doc.at("counters").has("topk.sets_generated"));
+  EXPECT_TRUE(doc.at("counters").has("topk.whatif_runs"));
+  EXPECT_TRUE(doc.at("counters").has("session.whatif_edits"));
+  EXPECT_TRUE(doc.at("gauges").has("session.dirty_victims"));
   EXPECT_TRUE(doc.at("counters").has("transient.solves"));
   EXPECT_TRUE(doc.at("histograms").has("transient.solve_seconds"));
   EXPECT_EQ(doc.at("histograms").at("transient.solve_seconds").at("count").number,

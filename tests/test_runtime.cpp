@@ -216,5 +216,40 @@ TEST(Wavefront, PartitionsNetsByLevel) {
   }
 }
 
+TEST(Wavefront, FilterLevelReadsFlagsAtCallTime) {
+  gen::GeneratorParams p;
+  p.name = "filter_level";
+  p.num_gates = 80;
+  p.target_couplings = 150;
+  p.seed = 7;
+  const gen::GeneratedCircuit ckt = gen::generate_circuit(p);
+  const net::Netlist& nl = *ckt.netlist;
+  const Wavefront wf(nl);
+
+  // Flag every third net; each level's batch must be exactly its flagged
+  // subset, preserving the level's ascending-id order.
+  std::vector<char> flags(nl.num_nets(), 0);
+  for (net::NetId n = 0; n < nl.num_nets(); n += 3) flags[n] = 1;
+  std::vector<net::NetId> batch;
+  for (std::size_t lv = 0; lv < wf.num_levels(); ++lv) {
+    filter_level(wf, lv, flags, &batch);
+    std::vector<net::NetId> expect;
+    for (net::NetId n : wf.level(lv)) {
+      if (flags[n]) expect.push_back(n);
+    }
+    EXPECT_EQ(batch, expect) << "level " << lv;
+  }
+
+  // Flags set while earlier levels execute are visible to later levels —
+  // the property the session's change-driven marking relies on.
+  flags.assign(nl.num_nets(), 0);
+  ASSERT_GE(wf.num_levels(), 2u);
+  filter_level(wf, wf.num_levels() - 1, flags, &batch);
+  EXPECT_TRUE(batch.empty());
+  for (net::NetId n : wf.level(wf.num_levels() - 1)) flags[n] = 1;
+  filter_level(wf, wf.num_levels() - 1, flags, &batch);
+  EXPECT_EQ(batch.size(), wf.level(wf.num_levels() - 1).size());
+}
+
 }  // namespace
 }  // namespace tka::runtime
