@@ -44,6 +44,41 @@ int main(int argc, char** argv) {
     r.value("checksum", sum);
   });
 
+  h.run_case("pwl_minus", [](bench::Reporter& r) {
+    Rng rng(21);
+    const wave::Pwl a = random_envelope(rng);
+    const wave::Pwl b = random_envelope(rng);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) sum += a.minus(b).peak();
+    r.value("checksum", sum);
+  });
+
+  // Fold 32 envelopes one plus() at a time: the left operand grows, so the
+  // merge sweep runs at the sizes the engine actually sees when building
+  // candidate envelopes incrementally.
+  h.run_case("pwl_plus_chain/32", [](bench::Reporter& r) {
+    Rng rng(22);
+    std::vector<wave::Pwl> envs;
+    for (int i = 0; i < 32; ++i) envs.push_back(random_envelope(rng));
+    double sum = 0.0;
+    for (int i = 0; i < 500; ++i) {
+      wave::Pwl acc = envs[0];
+      for (int j = 1; j < 32; ++j) acc = acc.plus(envs[j]);
+      sum += acc.peak();
+    }
+    r.value("checksum", sum);
+  });
+
+  h.run_case("pwl_clamp", [](bench::Reporter& r) {
+    Rng rng(23);
+    const wave::Pwl a = random_envelope(rng);
+    const wave::Pwl b = random_envelope(rng);
+    const wave::Pwl big = a.plus(b);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) sum += big.clamped(0.05, 0.3).peak();
+    r.value("checksum", sum);
+  });
+
   for (const int n : {4, 16, 64}) {
     h.run_case(str::format("pwl_sum_many/%d", n), [n](bench::Reporter& r) {
       Rng rng(2);
@@ -108,6 +143,23 @@ int main(int argc, char** argv) {
     r.value("checksum", static_cast<double>(hits));
   });
 
+  // Linear encapsulation co-walk on many-breakpoint envelopes (the sizes
+  // dominance checks see after candidate envelopes have been summed up).
+  h.run_case("pwl_encapsulates", [](bench::Reporter& r) {
+    Rng rng(24);
+    std::vector<wave::Pwl> envs;
+    std::vector<const wave::Pwl*> terms;
+    for (int i = 0; i < 16; ++i) envs.push_back(random_envelope(rng));
+    for (const wave::Pwl& e : envs) terms.push_back(&e);
+    const wave::Pwl big_a = wave::Pwl::sum(terms);
+    const wave::Pwl big_b = big_a.scaled(0.98).shifted(0.01);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+      hits += big_a.encapsulates(big_b, 0.0, 6.0, 1e-6) ? 1 : 0;
+    }
+    r.value("checksum", static_cast<double>(hits));
+  });
+
   for (const int n : {16, 64, 256}) {
     h.run_case(str::format("prune_dominated/%d", n), [n](bench::Reporter& r) {
       Rng rng(7);
@@ -130,6 +182,30 @@ int main(int argc, char** argv) {
       r.value("checksum", survivors);
     });
   }
+
+  // Same workload with signatures attached up front, the way CandidateStage
+  // delivers sets to the prune: measures the pre-filtered path the engine
+  // takes (prune_dominated/* above pays the in-call signature backfill).
+  h.run_case("prune_dominated_presig/256", [](bench::Reporter& r) {
+    Rng rng(7);
+    const wave::DominanceInterval iv{0.0, 6.0};
+    std::vector<topk::CandidateSet> base;
+    for (int i = 0; i < 256; ++i) {
+      topk::CandidateSet s;
+      s.members = {static_cast<layout::CapId>(i)};
+      s.envelope = random_envelope(rng);
+      s.score = rng.next_double();
+      s.sig = wave::make_signature(s.envelope, iv);
+      base.push_back(std::move(s));
+    }
+    double survivors = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      std::vector<topk::CandidateSet> work = base;
+      topk::prune_dominated(work, iv, 1e-9, nullptr);
+      survivors += static_cast<double>(work.size());
+    }
+    r.value("checksum", survivors);
+  });
 
   for (const size_t n : {6u, 12u, 24u}) {
     h.run_case(str::format("lu_solve/%zu", n), [n](bench::Reporter& r) {

@@ -162,7 +162,8 @@ void register_core_metrics() {
         "noise.fixpoint_runs", "noise.fixpoint_iterations",
         "noise.fixpoint_nonconverged", "noise.filter_false_sides",
         "noise.envelope_cache_hits", "noise.envelope_cache_misses",
-        "sta.runs", "transient.solves"}) {
+        "dominance.sig_rejects", "dominance.exact_checks",
+        "pwl.merge_points", "sta.runs", "transient.solves"}) {
     reg.counter(name);
   }
   // Gauges.

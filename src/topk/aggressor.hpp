@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "layout/parasitics.hpp"
+#include "wave/envelope.hpp"
 #include "wave/pwl.hpp"
 
 namespace tka::topk {
@@ -23,6 +24,11 @@ struct CandidateSet {
   std::vector<layout::CapId> members;  ///< sorted, unique coupling ids
   wave::Pwl envelope;                  ///< combined envelope at the victim
   double score = 0.0;                  ///< mode-dependent; larger is worse-case
+  /// Envelope signature over the victim's dominance interval, the cheap
+  /// pre-filter of `prune_dominated`. Computed where the candidate is built
+  /// (the interval is known there); `prune_dominated` backfills stale or
+  /// missing signatures, so leaving it invalid is always safe.
+  wave::EnvelopeSignature sig;
 
   size_t cardinality() const { return members.size(); }
 };

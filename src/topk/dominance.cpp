@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace tka::topk {
 
 void prune_dominated(std::vector<CandidateSet>& list,
@@ -10,6 +12,20 @@ void prune_dominated(std::vector<CandidateSet>& list,
   if (stats != nullptr) stats->considered += list.size();
   if (list.size() < 2 || !interval.valid()) return;
 
+  static obs::Counter& c_sig_rejects =
+      obs::registry().counter("dominance.sig_rejects");
+  static obs::Counter& c_exact_checks =
+      obs::registry().counter("dominance.exact_checks");
+
+  // Backfill signatures for candidates built outside the engine pipeline
+  // (or against a different interval); the pre-filter below needs every
+  // signature to describe exactly this interval.
+  for (CandidateSet& s : list) {
+    if (!wave::signature_matches(s.sig, interval)) {
+      s.sig = wave::make_signature(s.envelope, interval);
+    }
+  }
+
   // Sort by score descending first: a set can only be dominated by one with
   // an equal-or-larger delay-noise score (its envelope is pointwise >= over
   // the interval that determines the score), so each set needs comparing
@@ -17,11 +33,21 @@ void prune_dominated(std::vector<CandidateSet>& list,
   std::sort(list.begin(), list.end(),
             [](const CandidateSet& a, const CandidateSet& b) { return a.score > b.score; });
 
+  std::uint64_t sig_rejects = 0;
+  std::uint64_t exact_checks = 0;
   std::vector<CandidateSet> kept;
   kept.reserve(list.size());
   for (CandidateSet& cand : list) {
     bool dominated = false;
     for (const CandidateSet& winner : kept) {
+      // Signature pre-filter: a reject proves the exact check would fail,
+      // so most non-dominating pairs cost a few float compares instead of
+      // an envelope co-walk. Never changes which sets survive.
+      if (wave::signature_rejects(winner.sig, cand.sig, tol)) {
+        ++sig_rejects;
+        continue;
+      }
+      ++exact_checks;
       if (wave::dominates(winner.envelope, cand.envelope, interval, tol)) {
         dominated = true;
         break;
@@ -33,6 +59,8 @@ void prune_dominated(std::vector<CandidateSet>& list,
       kept.push_back(std::move(cand));
     }
   }
+  c_sig_rejects.add(sig_rejects);
+  c_exact_checks.add(exact_checks);
   list = std::move(kept);
 }
 

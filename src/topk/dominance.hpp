@@ -24,7 +24,11 @@ struct PruneStats {
 
 /// Removes every dominated set from `list` (all sets must share one
 /// cardinality and victim). Ties (mutually encapsulating envelopes) keep
-/// the higher-scored set. O(n^2) envelope comparisons.
+/// the higher-scored set. O(n^2) pairwise comparisons, but most pairs are
+/// settled by the O(1) envelope-signature pre-filter (a conservative
+/// rejection test — see wave::signature_rejects and docs/KERNELS.md);
+/// only the remainder pays the exact linear envelope co-walk. Counters
+/// `dominance.sig_rejects` / `dominance.exact_checks` record the split.
 void prune_dominated(std::vector<CandidateSet>& list,
                      const wave::DominanceInterval& interval, double tol,
                      PruneStats* stats = nullptr);

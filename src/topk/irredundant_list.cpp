@@ -14,6 +14,13 @@ bool IList::try_add(CandidateSet set) {
     if (existing.members == set.members) {
       if (set.score > existing.score) {
         existing = std::move(set);
+        // Scores only ever grow here, so the previous best cannot lose its
+        // spot — but a lower index reaching the best score must take over
+        // (first-of-equals wins, matching a linear rescan).
+        if (existing.score > sets_[best_].score ||
+            (it->second < best_ && existing.score == sets_[best_].score)) {
+          best_ = it->second;
+        }
         return true;
       }
       return false;
@@ -21,6 +28,9 @@ bool IList::try_add(CandidateSet set) {
   }
   index_.emplace(h, sets_.size());
   sets_.push_back(std::move(set));
+  if (best_ == kNoBest || sets_.back().score > sets_[best_].score) {
+    best_ = sets_.size() - 1;
+  }
   return true;
 }
 
@@ -63,25 +73,24 @@ void IList::reduce(const wave::DominanceInterval& interval, double tol,
     if (!present) sets_.push_back(std::move(seed));
   }
 
-  // Rebuild the dedup index after reordering/removal.
+  // Rebuild the dedup index and the best pointer after reordering/removal.
   index_.clear();
+  best_ = sets_.empty() ? kNoBest : 0;
   for (size_t i = 0; i < sets_.size(); ++i) {
     index_.emplace(members_hash(sets_[i].members), i);
+    if (sets_[i].score > sets_[best_].score) best_ = i;
   }
 }
 
 const CandidateSet& IList::best() const {
   TKA_ASSERT(!sets_.empty());
-  const CandidateSet* best = &sets_.front();
-  for (const CandidateSet& s : sets_) {
-    if (s.score > best->score) best = &s;
-  }
-  return *best;
+  return sets_[best_];
 }
 
 void IList::clear() {
   sets_.clear();
   index_.clear();
+  best_ = kNoBest;
 }
 
 }  // namespace tka::topk

@@ -43,14 +43,19 @@ class IList {
   bool empty() const { return sets_.empty(); }
   size_t size() const { return sets_.size(); }
 
-  /// Highest-scored set; asserts non-empty.
+  /// Highest-scored set; asserts non-empty. O(1): the best index is
+  /// maintained by try_add and recomputed once per reduce, with the same
+  /// tie-breaking as a first-strictly-greater scan (lowest index wins).
   const CandidateSet& best() const;
 
   void clear();
 
  private:
+  static constexpr size_t kNoBest = static_cast<size_t>(-1);
+
   std::vector<CandidateSet> sets_;
   std::unordered_multimap<std::uint64_t, size_t> index_;  // members_hash -> idx
+  size_t best_ = kNoBest;  // index of best(); kNoBest when empty
 };
 
 }  // namespace tka::topk

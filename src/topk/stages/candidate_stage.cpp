@@ -55,6 +55,10 @@ void CandidateStage::generate(const QueryContext& ctx, net::NetId v,
         .arg("sweep", static_cast<std::int64_t>(sweep));
   }
   IList& list = memo.lists[i - 1][v];
+  // Every candidate built below carries its envelope signature over the
+  // victim's dominance interval, so PruneStage's dominance pass can settle
+  // most pairs with signature compares alone (docs/KERNELS.md).
+  const wave::DominanceInterval& iv = base.iv[v];
   if (sweep == 0) {
     list.clear();
     // A stale winner from the last query must not survive an empty rebuild.
@@ -87,6 +91,7 @@ void CandidateStage::generate(const QueryContext& ctx, net::NetId v,
           cand.envelope = cand.envelope.simplified(opt.envelope_tol);
         }
         cand.score = score_env(ctx, v, cand.envelope);
+        cand.sig = wave::make_signature(cand.envelope, iv);
         ctx.c_sets->add(1);
         list.try_add(std::move(cand));
       }
@@ -123,6 +128,7 @@ void CandidateStage::generate(const QueryContext& ctx, net::NetId v,
         cand.envelope = cand.envelope.simplified(opt.envelope_tol);
       }
       cand.score = score_env(ctx, v, cand.envelope);
+      cand.sig = wave::make_signature(cand.envelope, iv);
       ctx.c_sets->add(1);
       list.try_add(std::move(cand));
     };
@@ -230,6 +236,7 @@ void CandidateStage::generate(const QueryContext& ctx, net::NetId v,
         cand.envelope = builder.envelope_widened(v, cap, widen)
                             .simplified(opt.envelope_tol);
         cand.score = score_env(ctx, v, cand.envelope);
+        cand.sig = wave::make_signature(cand.envelope, iv);
         ctx.c_sets->add(1);
         list.try_add(std::move(cand));
       } else {
@@ -255,6 +262,7 @@ void CandidateStage::generate(const QueryContext& ctx, net::NetId v,
         cand.members = s.members;
         cand.envelope = diff.simplified(opt.envelope_tol);
         cand.score = score_env(ctx, v, cand.envelope);
+        cand.sig = wave::make_signature(cand.envelope, iv);
         ctx.c_sets->add(1);
         list.try_add(std::move(cand));
       }

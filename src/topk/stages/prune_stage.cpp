@@ -10,7 +10,10 @@ void PruneStage::reduce(const QueryContext& ctx, net::NetId v, std::size_t i,
   IList& list = ctx.memo->lists[i - 1][v];
 
   // Step 4: reduce to the irredundant list. The victim's own caps are
-  // passed so each keeps an extension seed (see IList::reduce).
+  // passed so each keeps an extension seed (see IList::reduce). Candidates
+  // arrive with envelope signatures over iv[v] already attached
+  // (CandidateStage), so the dominance pass inside reduce() settles most
+  // pairs with the signature pre-filter.
   list.reduce(ctx.base->iv[v], opt.dominance_tol, opt.beam_cap,
               opt.use_dominance, prune_out, ctx.base->active_caps[v]);
   ctx.h_ilist->observe(static_cast<double>(list.size()));

@@ -42,6 +42,79 @@ bool dominates(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
   return a.encapsulates(b, interval.lo, interval.hi, tol);
 }
 
+namespace {
+
+// Safety margin for signature rejections: signatures are compared against
+// values the exact check computes at *different* times (breakpoints vs the
+// fixed grid), so the rejection threshold is padded by far more than the
+// few-ulp float noise either evaluation carries. Rejecting only gaps beyond
+// tol + kSigMargin keeps "signature rejects => exact check fails" sound.
+constexpr double kSigMargin = 1e-9;
+
+}  // namespace
+
+EnvelopeSignature make_signature(const Pwl& env,
+                                 const DominanceInterval& interval) {
+  EnvelopeSignature sig;
+  if (!interval.valid()) return sig;
+  sig.valid = true;
+  sig.lo = interval.lo;
+  sig.hi = interval.hi;
+
+  const double span = interval.hi - interval.lo;
+  const double step = span / (EnvelopeSignature::kSamples - 1);
+  for (int i = 0; i < EnvelopeSignature::kSamples; ++i) {
+    sig.samples[i] = env.value(interval.lo + step * static_cast<double>(i));
+  }
+
+  // Sup over the interval: attained at an interval end or at a breakpoint
+  // strictly inside (the envelope is linear in between).
+  sig.peak = std::max(sig.samples.front(), sig.samples.back());
+  const std::vector<Point>& pts = env.points();
+  for (const Point& p : pts) {
+    if (p.t > interval.lo && p.t < interval.hi) sig.peak = std::max(sig.peak, p.v);
+  }
+
+  // Trapezoidal integral over [lo, hi]. The envelope is linear between
+  // consecutive knots (interval ends + interior breakpoints) — constant
+  // extrapolation outside the breakpoint span is linear too — so walking
+  // the knots once is exact.
+  double area = 0.0;
+  double prev_t = interval.lo;
+  double prev_v = sig.samples.front();
+  for (const Point& p : pts) {
+    if (p.t <= interval.lo) continue;
+    if (p.t >= interval.hi) break;
+    area += 0.5 * (prev_v + p.v) * (p.t - prev_t);
+    prev_t = p.t;
+    prev_v = p.v;
+  }
+  area += 0.5 * (prev_v + sig.samples.back()) * (interval.hi - prev_t);
+  sig.integral = area;
+  return sig;
+}
+
+bool signature_matches(const EnvelopeSignature& sig,
+                       const DominanceInterval& interval) {
+  return sig.valid && sig.lo == interval.lo && sig.hi == interval.hi;
+}
+
+bool signature_rejects(const EnvelopeSignature& a, const EnvelopeSignature& b,
+                       double tol) {
+  if (!a.valid || !b.valid || a.lo != b.lo || a.hi != b.hi) return false;
+  const double gap = tol + kSigMargin;
+  // Peak witness: b rises above anything a attains anywhere in the interval.
+  if (b.peak > a.peak + gap) return true;
+  // Mean witness: b's area exceeds a's by more than tol over the full span,
+  // so b - a > tol somewhere.
+  if (b.integral - a.integral > gap * (b.hi - b.lo)) return true;
+  // Grid witnesses: a provably sits below b - tol at a shared sample time.
+  for (int i = 0; i < EnvelopeSignature::kSamples; ++i) {
+    if (a.samples[i] < b.samples[i] - gap) return true;
+  }
+  return false;
+}
+
 DomOrder compare(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
                  double tol) {
   const bool ab = dominates(a, b, interval, tol);

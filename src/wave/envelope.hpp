@@ -11,6 +11,7 @@
 // built on A, so B's sets can be pruned.
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "wave/pulse.hpp"
@@ -42,6 +43,44 @@ Pwl combine_envelopes(std::span<const Pwl* const> envelopes);
 /// True when `a` dominates `b`: a(t) >= b(t) - tol over the interval.
 bool dominates(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
                double tol = 1e-9);
+
+/// Precomputed summary of one envelope over one dominance interval, used as
+/// a conservative pre-filter in the O(list²) dominance pruning pass: a few
+/// float compares of two signatures can prove "a cannot encapsulate b" and
+/// skip the exact breakpoint co-walk entirely (docs/KERNELS.md).
+///
+/// The signature never proves dominance — only its impossibility — so the
+/// pruning result is bit-identical with and without the filter.
+struct EnvelopeSignature {
+  static constexpr int kSamples = 8;
+
+  bool valid = false;
+  /// Interval the signature was computed for; compares are only meaningful
+  /// (and only attempted) between signatures of the same interval.
+  double lo = 0.0;
+  double hi = 0.0;
+  double peak = 0.0;      ///< sup of the envelope over [lo, hi]
+  double integral = 0.0;  ///< trapezoidal integral over [lo, hi]
+  /// Envelope values at kSamples evenly spaced times across [lo, hi].
+  std::array<double, kSamples> samples{};
+};
+
+/// Builds the signature of `env` over `interval` in one linear pass.
+/// Invalid (never-rejecting) when the interval itself is invalid.
+EnvelopeSignature make_signature(const Pwl& env,
+                                 const DominanceInterval& interval);
+
+/// True when `sig` is valid and was computed for exactly `interval`.
+bool signature_matches(const EnvelopeSignature& sig,
+                       const DominanceInterval& interval);
+
+/// True when the signatures PROVE a(t) >= b(t) - tol fails somewhere in the
+/// shared interval, i.e. dominates(a_env, b_env, interval, tol) is certainly
+/// false. A small safety margin keeps the proof sound against the float
+/// rounding differences between sampled and breakpoint evaluation; "false"
+/// means "maybe dominates — run the exact check".
+bool signature_rejects(const EnvelopeSignature& a, const EnvelopeSignature& b,
+                       double tol);
 
 /// Strict mutual comparison outcome used for partial-order reductions.
 enum class DomOrder {

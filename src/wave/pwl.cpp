@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace tka::wave {
@@ -11,17 +13,75 @@ namespace {
 
 constexpr double kTimeEps = 1e-12;
 
-// Merged, deduplicated breakpoint times of two waveforms.
-std::vector<double> merged_times(const Pwl& a, const Pwl& b) {
-  std::vector<double> times;
-  times.reserve(a.size() + b.size());
-  for (const Point& p : a.points()) times.push_back(p.t);
-  for (const Point& p : b.points()) times.push_back(p.t);
-  std::sort(times.begin(), times.end());
-  times.erase(std::unique(times.begin(), times.end(),
-                          [](double x, double y) { return std::abs(x - y) < kTimeEps; }),
-              times.end());
-  return times;
+// Monotone segment cursor: value_at(t) reproduces Pwl::value(t) bit-for-bit
+// (same segment lookup semantics, same interpolation expression) but finds
+// the segment by advancing an index instead of a binary search. Calls must
+// come with non-decreasing t, which every merge sweep below guarantees —
+// that makes a full sweep O(n) instead of O(n log n).
+class SegCursor {
+ public:
+  explicit SegCursor(const std::vector<Point>& pts) : pts_(&pts) {}
+
+  double value_at(double t) {
+    const std::vector<Point>& pts = *pts_;
+    if (pts.empty()) return 0.0;
+    if (t <= pts.front().t) return pts.front().v;
+    if (t >= pts.back().t) return pts.back().v;
+    while (i_ + 1 < pts.size() && pts[i_ + 1].t <= t) ++i_;
+    const Point& lo = pts[i_];
+    const Point& hi = pts[i_ + 1];
+    const double span = hi.t - lo.t;
+    if (span < kTimeEps) return hi.v;
+    const double f = (t - lo.t) / span;
+    return lo.v + f * (hi.v - lo.v);
+  }
+
+ private:
+  const std::vector<Point>* pts_;
+  std::size_t i_ = 0;
+};
+
+// Two-pointer walk over the merged, eps-deduplicated breakpoint times of two
+// waveforms, in ascending order. Duplicate handling matches the former
+// sort + unique(|x-y| < kTimeEps) exactly: a time is dropped when it lies
+// within kTimeEps of the last *emitted* time.
+class MergedTimes {
+ public:
+  MergedTimes(const std::vector<Point>& a, const std::vector<Point>& b)
+      : a_(&a), b_(&b) {}
+
+  /// Next merged time into *t; false when both lists are exhausted.
+  bool next(double* t) {
+    const std::vector<Point>& a = *a_;
+    const std::vector<Point>& b = *b_;
+    while (ia_ < a.size() || ib_ < b.size()) {
+      double cand;
+      if (ib_ >= b.size() || (ia_ < a.size() && a[ia_].t <= b[ib_].t)) {
+        cand = a[ia_++].t;
+      } else {
+        cand = b[ib_++].t;
+      }
+      if (have_last_ && cand - last_ < kTimeEps) continue;
+      have_last_ = true;
+      last_ = cand;
+      *t = cand;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::vector<Point>* a_;
+  const std::vector<Point>* b_;
+  std::size_t ia_ = 0;
+  std::size_t ib_ = 0;
+  bool have_last_ = false;
+  double last_ = 0.0;
+};
+
+obs::Counter& merge_points_counter() {
+  static obs::Counter& c = obs::registry().counter("pwl.merge_points");
+  return c;
 }
 
 }  // namespace
@@ -113,9 +173,13 @@ Pwl Pwl::plus(const Pwl& other) const {
   if (points_.empty()) return other;
   if (other.points_.empty()) return *this;
   std::vector<Point> pts;
-  const std::vector<double> times = merged_times(*this, other);
-  pts.reserve(times.size());
-  for (double t : times) pts.push_back({t, value(t) + other.value(t)});
+  pts.reserve(points_.size() + other.points_.size());
+  MergedTimes times(points_, other.points_);
+  SegCursor ca(points_);
+  SegCursor cb(other.points_);
+  double t;
+  while (times.next(&t)) pts.push_back({t, ca.value_at(t) + cb.value_at(t)});
+  merge_points_counter().add(pts.size());
   return Pwl(std::move(pts));
 }
 
@@ -126,32 +190,43 @@ Pwl Pwl::minus(const Pwl& other) const {
 Pwl Pwl::upper_envelope(const Pwl& other) const {
   if (points_.empty()) return other.upper_envelope(Pwl::constant(0.0));
   if (other.points_.empty()) return upper_envelope(Pwl::constant(0.0));
-  const std::vector<double> times = merged_times(*this, other);
   std::vector<Point> pts;
-  pts.reserve(times.size() * 2);
-  for (size_t i = 0; i < times.size(); ++i) {
-    const double t = times[i];
-    const double va = value(t);
-    const double vb = other.value(t);
-    pts.push_back({t, std::max(va, vb)});
-    // Insert the crossing point inside (t, t_next) if the two linear
-    // segments swap order there.
-    if (i + 1 < times.size()) {
-      const double tn = times[i + 1];
-      const double va2 = value(tn);
-      const double vb2 = other.value(tn);
-      const double d0 = va - vb;
-      const double d1 = va2 - vb2;
+  pts.reserve((points_.size() + other.points_.size()) * 2);
+  MergedTimes times(points_, other.points_);
+  SegCursor ca(points_);
+  SegCursor cb(other.points_);
+  // Crossing times fall strictly between consecutive merged times, so they
+  // form their own non-decreasing sequence and get a dedicated cursor.
+  SegCursor cross(points_);
+  bool have_prev = false;
+  double tp = 0.0;
+  double vap = 0.0;
+  double vbp = 0.0;
+  double t;
+  while (times.next(&t)) {
+    const double va = ca.value_at(t);
+    const double vb = cb.value_at(t);
+    // Insert the crossing point inside (tp, t) if the two linear segments
+    // swap order there.
+    if (have_prev) {
+      const double d0 = vap - vbp;
+      const double d1 = va - vb;
       if ((d0 > 0 && d1 < 0) || (d0 < 0 && d1 > 0)) {
         const double f = d0 / (d0 - d1);
-        const double tc = t + f * (tn - t);
-        if (tc > t + kTimeEps && tc < tn - kTimeEps) {
-          const double vc = value(tc);  // == other.value(tc) at the crossing
+        const double tc = tp + f * (t - tp);
+        if (tc > tp + kTimeEps && tc < t - kTimeEps) {
+          const double vc = cross.value_at(tc);  // == other's value at the crossing
           pts.push_back({tc, vc});
         }
       }
     }
+    pts.push_back({t, std::max(va, vb)});
+    have_prev = true;
+    tp = t;
+    vap = va;
+    vbp = vb;
   }
+  merge_points_counter().add(pts.size());
   return Pwl(std::move(pts));
 }
 
@@ -164,50 +239,68 @@ Pwl Pwl::clamped(double lo, double hi) const {
   // Clamping a PWL can introduce breakpoints where segments cross lo/hi.
   std::vector<Point> pts;
   pts.reserve(points_.size() * 2);
-  auto emit = [&pts](double t, double v) { pts.push_back({t, v}); };
   for (size_t i = 0; i < points_.size(); ++i) {
     const Point& p = points_[i];
-    emit(p.t, std::clamp(p.v, lo, hi));
+    pts.push_back({p.t, std::clamp(p.v, lo, hi)});
     if (i + 1 == points_.size()) break;
     const Point& q = points_[i + 1];
-    // Insert crossings of the thresholds within (p.t, q.t).
+    // A linear segment crosses each threshold at most once, so the segment
+    // contributes at most two interior breakpoints; collect them and emit
+    // in time order (the lo crossing need not come first).
+    Point crossings[2];
+    int n_cross = 0;
     for (double level : {lo, hi}) {
       const double d0 = p.v - level;
       const double d1 = q.v - level;
       if ((d0 > 0 && d1 < 0) || (d0 < 0 && d1 > 0)) {
         const double f = d0 / (d0 - d1);
         const double tc = p.t + f * (q.t - p.t);
-        if (tc > p.t + kTimeEps && tc < q.t - kTimeEps) emit(tc, level);
+        if (tc > p.t + kTimeEps && tc < q.t - kTimeEps) {
+          crossings[n_cross++] = {tc, level};
+        }
       }
     }
-    // Keep pts sorted: crossings for lo/hi may come out of order.
-    // (At most two inserts per segment; sort the tail.)
-    auto tail = pts.end();
-    int inserted = 0;
-    while (tail != pts.begin() && (tail - 1)->t > p.t && inserted < 3) {
-      --tail;
-      ++inserted;
+    if (n_cross == 2 && crossings[1].t < crossings[0].t) {
+      std::swap(crossings[0], crossings[1]);
     }
-    std::sort(tail, pts.end(), [](const Point& a, const Point& b) { return a.t < b.t; });
+    for (int c = 0; c < n_cross; ++c) pts.push_back(crossings[c]);
   }
   return Pwl(std::move(pts));
 }
 
 bool Pwl::encapsulates(const Pwl& other, double t_lo, double t_hi, double tol) const {
   TKA_ASSERT(t_lo <= t_hi);
-  auto check = [&](double t) { return value(t) >= other.value(t) - tol; };
-  if (!check(t_lo) || !check(t_hi)) return false;
-  for (const std::vector<Point>* src : {&points_, &other.points_}) {
-    for (const Point& p : *src) {
-      if (p.t <= t_lo || p.t >= t_hi) continue;
-      if (!check(p.t)) return false;
+  // Interval ends first: the common fast reject, at one binary search each.
+  if (!(value(t_lo) >= other.value(t_lo) - tol)) return false;
+  if (!(value(t_hi) >= other.value(t_hi) - tol)) return false;
+  // Both waveforms are linear between merged breakpoints, so checking every
+  // breakpoint of either inside (t_lo, t_hi) is exact. Linear co-walk: the
+  // breakpoints come out in ascending order, so each side's value comes
+  // from an advancing cursor.
+  SegCursor ca(points_);
+  SegCursor cb(other.points_);
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < points_.size() || ib < other.points_.size()) {
+    double t;
+    if (ib >= other.points_.size() ||
+        (ia < points_.size() && points_[ia].t <= other.points_[ib].t)) {
+      t = points_[ia++].t;
+    } else {
+      t = other.points_[ib++].t;
     }
+    if (t <= t_lo) continue;
+    if (t >= t_hi) break;  // ascending: nothing later can be inside
+    if (!(ca.value_at(t) >= cb.value_at(t) - tol)) return false;
   }
   return true;
 }
 
 std::optional<double> Pwl::last_time_at_or_below(double level) const {
-  if (points_.empty()) return level >= 0.0 ? std::nullopt : std::nullopt;
+  // Empty waveform contract: identically zero. When level >= 0 the set
+  // {t : w(t) <= level} is unbounded above; when level < 0 it is empty.
+  // Either way there is no finite "latest" time to report.
+  if (points_.empty()) return std::nullopt;
   // Constant extrapolation after the last breakpoint: if the final value is
   // <= level the set {t : w(t) <= level} is unbounded above.
   if (points_.back().v <= level) return std::nullopt;
@@ -306,23 +399,44 @@ std::string Pwl::to_string() const {
 }
 
 Pwl Pwl::sum(std::span<const Pwl* const> terms) {
-  std::vector<double> times;
+  std::size_t total = 0;
   for (const Pwl* w : terms) {
     TKA_ASSERT(w != nullptr);
-    for (const Point& p : w->points()) times.push_back(p.t);
+    total += w->size();
   }
-  if (times.empty()) return Pwl();
-  std::sort(times.begin(), times.end());
-  times.erase(std::unique(times.begin(), times.end(),
-                          [](double x, double y) { return std::abs(x - y) < kTimeEps; }),
-              times.end());
+  if (total == 0) return Pwl();
+  // K-way merge sweep. Heads produce the ascending merged time sequence
+  // (with the same eps-dedup as the two-way merge); every term contributes
+  // its cursor-interpolated value at each kept time, accumulated in term
+  // order.
+  std::vector<SegCursor> cursors;
+  cursors.reserve(terms.size());
+  for (const Pwl* w : terms) cursors.emplace_back(w->points());
+  std::vector<std::size_t> head(terms.size(), 0);
   std::vector<Point> pts;
-  pts.reserve(times.size());
-  for (double t : times) {
+  pts.reserve(total);
+  bool have_last = false;
+  double last_t = 0.0;
+  for (;;) {
+    double t = std::numeric_limits<double>::infinity();
+    std::size_t arg = terms.size();
+    for (std::size_t k = 0; k < terms.size(); ++k) {
+      const std::vector<Point>& p = terms[k]->points();
+      if (head[k] < p.size() && p[head[k]].t < t) {
+        t = p[head[k]].t;
+        arg = k;
+      }
+    }
+    if (arg == terms.size()) break;
+    ++head[arg];
+    if (have_last && t - last_t < kTimeEps) continue;
+    have_last = true;
+    last_t = t;
     double v = 0.0;
-    for (const Pwl* w : terms) v += w->value(t);
+    for (SegCursor& c : cursors) v += c.value_at(t);
     pts.push_back({t, v});
   }
+  merge_points_counter().add(pts.size());
   return Pwl(std::move(pts));
 }
 

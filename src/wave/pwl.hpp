@@ -68,13 +68,14 @@ class Pwl {
   /// Waveform scaled by factor a (values only).
   Pwl scaled(double a) const;
 
-  /// Pointwise sum.
+  /// Pointwise sum. Single-pass two-pointer merge sweep, O(n + m).
   Pwl plus(const Pwl& other) const;
 
   /// Pointwise difference (this - other).
   Pwl minus(const Pwl& other) const;
 
   /// Pointwise maximum (upper envelope); inserts crossing breakpoints.
+  /// Single-pass merge sweep, O(n + m).
   Pwl upper_envelope(const Pwl& other) const;
 
   /// Values clamped to [lo, hi].
@@ -82,14 +83,16 @@ class Pwl {
 
   /// True if this(t) >= other(t) - tol for every t in [t_lo, t_hi].
   /// Both waveforms are linear between merged breakpoints, so the check is
-  /// exact on the merged breakpoint set plus interval ends.
+  /// exact on the merged breakpoint set plus interval ends. Linear co-walk
+  /// of both breakpoint lists, O(n + m) (docs/KERNELS.md).
   bool encapsulates(const Pwl& other, double t_lo, double t_hi,
                     double tol = 1e-9) const;
 
   /// Latest time at which the waveform is <= level. For a rising noisy
   /// victim transition this is the noisy t50 (the final 50%-Vdd crossing).
   /// Returns nullopt when the waveform never reaches <= level, or when it
-  /// ends at or below level (so the "latest" time is unbounded).
+  /// ends at or below level (so the "latest" time is unbounded) — in
+  /// particular always nullopt for the empty (identically zero) waveform.
   std::optional<double> last_time_at_or_below(double level) const;
 
   /// Earliest time at which the waveform is >= level; nullopt if never, or
