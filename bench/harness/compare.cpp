@@ -97,6 +97,33 @@ void compare_one(const std::string& name, const json::Value& base,
       }
     }
   }
+
+  // --- memory ---
+  if (opt.memory_threshold >= 0.0) {
+    const json::Value* bm = base.find("memory");
+    const json::Value* cm = cand.find("memory");
+    const double bpeak = bm != nullptr ? bm->number_or("peak_rss_bytes", 0.0) : 0.0;
+    if (bpeak > 0.0) {
+      const double cpeak =
+          cm != nullptr ? cm->number_or("peak_rss_bytes", 0.0) : 0.0;
+      if (cpeak <= 0.0) {
+        // RSS readings come from /proc; a platform without them is a build
+        // environment difference, not a footprint regression.
+        result->notes.push_back(name +
+                                ": candidate has no peak_rss_bytes, skipping");
+      } else {
+        ++result->metrics_compared;
+        const double rel = rel_increase(bpeak, cpeak);
+        if (rel > opt.memory_threshold) {
+          result->regressions.push_back(str::format(
+              "%s: memory.peak_rss_bytes %.0f -> %.0f (+%.1f%%, threshold "
+              "+%.1f%%)",
+              name.c_str(), bpeak, cpeak, 100.0 * rel,
+              100.0 * opt.memory_threshold));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -11,6 +11,11 @@
 //             deterministic; any drift is a behavior change)
 //   counters  fail when a counter grows by more than `counter_threshold`
 //             (relative; decreases — less work — always pass)
+//   memory    fail when memory.peak_rss_bytes grows by more than
+//             `memory_threshold` (relative; decreases always pass). The
+//             default is loose — RSS depends on allocator and machine —
+//             but catches footprint blowups. A candidate without a
+//             positive peak (non-Linux build) only rates a note.
 // A benchmark present in the baseline but missing from the candidate is a
 // regression (coverage loss); extra candidate benchmarks are noted only.
 #pragma once
@@ -27,6 +32,7 @@ struct CompareOptions {
   double time_threshold = 0.15;
   double value_threshold = 1e-6;
   double counter_threshold = 0.10;
+  double memory_threshold = 0.35;
 };
 
 struct CompareResult {

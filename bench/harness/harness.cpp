@@ -31,6 +31,8 @@ const Harness* g_active = nullptr;
       "  --out FILE       JSON result path (default BENCH_%s.json)\n"
       "  --filter SUBSTR  only run cases whose name contains SUBSTR\n"
       "  --list           print case names, run nothing\n"
+      "  --metrics-out FILE    periodic JSONL metric snapshots\n"
+      "  --metrics-interval MS snapshot period (default 500)\n"
       "  --help           this text\n",
       suite.c_str(), suite.c_str());
   std::exit(exit_code);
@@ -129,6 +131,11 @@ Harness::Harness(int argc, char* const* argv, std::string suite) {
       config_.filter = next();
     } else if (arg == "--list") {
       config_.list_only = true;
+    } else if (arg == "--metrics-out") {
+      config_.metrics_out = next();
+    } else if (arg == "--metrics-interval") {
+      if (!parse_int(next(), &v) || v < 1) usage(config_.suite, 2);
+      config_.metrics_interval_ms = v;
     } else {
       std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
                    std::string(arg).c_str());
@@ -161,6 +168,15 @@ Harness::Harness(int argc, char* const* argv, std::string suite) {
       std::getenv("TKA_BENCH_METRICS") != nullptr) {
     obs::tracer().enable(true);
   }
+  if (!config_.metrics_out.empty() && !config_.list_only) {
+    metrics_sink_ = std::make_unique<obs::MetricsFileSink>(
+        config_.metrics_out, config_.metrics_interval_ms);
+    if (!metrics_sink_->ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   config_.metrics_out.c_str());
+      std::exit(2);
+    }
+  }
   g_active = this;
 }
 
@@ -188,8 +204,24 @@ bool Harness::run_case(const std::string& name,
   Reporter reporter;
   for (int r = 0; r < config_.reps; ++r) {
     const obs::MetricsSnapshot before = obs::registry().snapshot();
+    const std::vector<runtime::LaneCounters> lanes_before =
+        runtime::lane_snapshot();
     Timer t;
-    fn(reporter);
+    {
+#if TKA_OBS_ENABLED
+      // Book the whole timed rep as exec on the calling lane so even
+      // suites that never fan out (pure-serial kernels) report per-thread
+      // utilization. Nested pool scopes still attribute exactly: a
+      // parallel_for barrier inside the rep books barrier-wait, not exec
+      // (LaneSlot::push credits the enclosing phase).
+      runtime::telemetry::LaneSlot& lane =
+          runtime::telemetry::this_lane(/*worker=*/false);
+      runtime::telemetry::PhaseScope exec(lane,
+                                          runtime::telemetry::Phase::kExec);
+      lane.tasks.fetch_add(1, std::memory_order_relaxed);
+#endif
+      fn(reporter);
+    }
     samples.push_back(t.seconds());
     const obs::MetricsSnapshot delta =
         obs::counters_delta(before, obs::registry().snapshot());
@@ -199,7 +231,34 @@ bool Harness::run_case(const std::string& name,
     for (const auto& [cname, cdelta] : delta.counters) {
       if (cdelta > 0) result.counters.emplace(cname, cdelta);
     }
+    // Per-thread attribution over the same rep. Lanes that did nothing
+    // (threads of an earlier, larger pool; long-dead workers) are dropped.
+    result.lanes.clear();
+    const std::vector<runtime::LaneCounters> lane_d =
+        runtime::lane_delta(lanes_before, runtime::lane_snapshot());
+    for (std::size_t li = 0; li < lane_d.size(); ++li) {
+      const runtime::LaneCounters& l = lane_d[li];
+      if (l.exec_ns + l.queue_idle_ns + l.barrier_wait_ns == 0) continue;
+      LaneUsage u;
+      u.lane = static_cast<int>(li);
+      u.worker = l.worker;
+      u.exec_s = obs::ns_to_seconds(static_cast<std::int64_t>(l.exec_ns));
+      u.exec_cpu_s =
+          obs::ns_to_seconds(static_cast<std::int64_t>(l.exec_cpu_ns));
+      u.queue_idle_s =
+          obs::ns_to_seconds(static_cast<std::int64_t>(l.queue_idle_ns));
+      u.barrier_wait_s =
+          obs::ns_to_seconds(static_cast<std::int64_t>(l.barrier_wait_ns));
+      u.wall_s = obs::ns_to_seconds(static_cast<std::int64_t>(l.wall_ns));
+      u.utilization = u.wall_s > 0.0 ? u.exec_s / u.wall_s : 0.0;
+      u.tasks = l.tasks;
+      result.lanes.push_back(u);
+    }
   }
+  // RSS readings stay available even with TKA_OBS_DISABLED (plain /proc
+  // reads); VmHWM is the kernel-maintained process peak.
+  result.rss_bytes = obs::current_rss_bytes();
+  result.peak_rss_bytes = obs::peak_rss_bytes();
   result.time = summarize_samples(std::move(samples));
   result.values = std::move(reporter.values_);
   results_.push_back(std::move(result));
@@ -244,7 +303,22 @@ std::string render_bench_json(const HarnessConfig& config,
       out << (first ? "" : ", ") << "\"" << json_escape(name) << "\": " << v;
       first = false;
     }
-    out << "}\n    }";
+    out << "},\n      \"memory\": {\"peak_rss_bytes\": " << r.peak_rss_bytes
+        << ", \"rss_bytes\": " << r.rss_bytes << "},\n";
+    out << "      \"lanes\": [";
+    first = true;
+    for (const LaneUsage& l : r.lanes) {
+      out << (first ? "" : ", ") << "{\"lane\": " << l.lane << ", \"worker\": "
+          << (l.worker ? "true" : "false") << ", \"exec_s\": " << num(l.exec_s)
+          << ", \"exec_cpu_s\": " << num(l.exec_cpu_s)
+          << ", \"queue_idle_s\": " << num(l.queue_idle_s)
+          << ", \"barrier_wait_s\": " << num(l.barrier_wait_s)
+          << ", \"wall_s\": " << num(l.wall_s)
+          << ", \"utilization\": " << num(l.utilization)
+          << ", \"tasks\": " << l.tasks << "}";
+      first = false;
+    }
+    out << "]\n    }";
   }
   out << (first_case ? "" : "\n  ") << "]\n}\n";
   return out.str();
@@ -266,6 +340,11 @@ int Harness::finish() {
     std::printf("  %-28s %10.4fs  [p10 %.4f, p90 %.4f]\n", r.name.c_str(),
                 r.time.median, r.time.p10, r.time.p90);
   }
+  if (!results_.empty() && results_.back().peak_rss_bytes > 0) {
+    std::printf("  peak rss: %.1f MiB\n",
+                static_cast<double>(results_.back().peak_rss_bytes) /
+                    (1024.0 * 1024.0));
+  }
 
   std::ofstream out(config_.out_path);
   if (!out) {
@@ -286,9 +365,17 @@ int Harness::finish() {
   if (const char* path = std::getenv("TKA_BENCH_METRICS")) {
     std::ofstream mout(path);
     if (mout) {
+      // Refresh derived gauges (runtime.*, mem.rss*) before the dump.
+      obs::run_collectors();
       obs::write_metrics_json(mout);
       std::fprintf(stderr, "wrote metrics %s\n", path);
     }
+  }
+  if (metrics_sink_ != nullptr) {
+    metrics_sink_->stop();  // writes the final JSONL record
+    std::fprintf(stderr, "wrote metrics snapshots %s (%llu records)\n",
+                 config_.metrics_out.c_str(),
+                 static_cast<unsigned long long>(metrics_sink_->records()));
   }
   return 0;
 }

@@ -28,6 +28,9 @@
 //   --out FILE         result path (default BENCH_<suite>.json in the cwd)
 //   --filter SUBSTR    only run cases whose name contains SUBSTR
 //   --list             print case names without running them
+//   --metrics-out FILE periodic JSONL metric snapshots (docs/OBSERVABILITY.md)
+//   --metrics-interval MS
+//                      snapshot period for --metrics-out (default 500)
 // Environment: TKA_BENCH_SCALE, TKA_THREADS, TKA_LOG, TKA_BENCH_TRACE,
 // TKA_BENCH_METRICS keep working exactly as before (flags win over env).
 //
@@ -39,12 +42,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "harness/stats.hpp"
+#include "obs/export.hpp"
 
 namespace tka::bench {
 
@@ -63,6 +68,8 @@ struct HarnessConfig {
   std::string out_path;
   std::string filter;
   bool list_only = false;
+  std::string metrics_out;        ///< JSONL snapshot sink path ("" = off)
+  int metrics_interval_ms = 500;  ///< snapshot period for metrics_out
 };
 
 /// Handed to the case body each repetition; collects named scalar results
@@ -81,13 +88,38 @@ class Reporter {
   std::vector<std::pair<std::string, double>> values_;
 };
 
-/// One case's outcome: timing summary over the reps, reported values, and
-/// the metric-counter increments observed during the last timed rep.
+/// One execution lane's activity during a case's last timed rep (from
+/// runtime::lane_delta; empty with TKA_OBS_DISABLED). `utilization` is
+/// exec_s / wall_s over the rep.
+struct LaneUsage {
+  int lane = 0;
+  bool worker = false;
+  double exec_s = 0.0;
+  /// CPU time actually consumed during exec segments; exec_s - exec_cpu_s
+  /// is the involuntary stall (runnable but preempted) — the signature of
+  /// more threads than cores.
+  double exec_cpu_s = 0.0;
+  double queue_idle_s = 0.0;
+  double barrier_wait_s = 0.0;
+  double wall_s = 0.0;
+  double utilization = 0.0;
+  std::uint64_t tasks = 0;
+};
+
+/// One case's outcome: timing summary over the reps, reported values, the
+/// metric-counter increments observed during the last timed rep, plus
+/// memory (RSS) readings and per-lane runtime attribution. `counters` and
+/// `values` stay bit-identical across thread counts and obs configurations;
+/// the memory and lane fields are environment-dependent telemetry and are
+/// gated loosely (or skipped) by bench_compare.
 struct CaseResult {
   std::string name;
   TimeStats time;
   std::vector<std::pair<std::string, double>> values;
   std::map<std::string, std::uint64_t> counters;
+  std::uint64_t peak_rss_bytes = 0;  ///< process VmHWM after the case
+  std::uint64_t rss_bytes = 0;       ///< process VmRSS after the case
+  std::vector<LaneUsage> lanes;
 };
 
 class Harness {
@@ -126,6 +158,7 @@ class Harness {
   HarnessConfig config_;
   std::vector<CaseResult> results_;
   std::vector<std::string> listed_;
+  std::unique_ptr<obs::MetricsFileSink> metrics_sink_;  // --metrics-out
   bool finished_ = false;
 };
 

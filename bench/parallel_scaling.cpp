@@ -8,6 +8,13 @@
 // Harness cases: <ckt>/t<threads>. The explicit per-case thread count
 // overrides --threads/TKA_THREADS for the engine run (resolution order,
 // runtime/runtime.hpp).
+//
+// Besides speedup, each row reports *where the lanes spent the rep*: the
+// per-lane utilization (exec / wall) and the pooled wait share
+// (barrier-wait + queue-idle over total lane wall). On a host with fewer
+// cores than threads the wait share is the whole story — tools/perf_report
+// turns the same lane records (in BENCH_parallel_scaling.json) into the
+// full diagnosis.
 #include <cstdio>
 
 #include "common.hpp"
@@ -45,11 +52,33 @@ int main(int argc, char** argv) {
         r.value("estimated_delay", estimated);
       });
       if (!ran) continue;
-      const double median = h.results().back().time.median;
+      const bench::CaseResult& cr = h.results().back();
+      const double median = cr.time.median;
       if (threads == 1) serial_median = median;
       std::printf("%-4s threads=%d: delay=%.6f median=%.3fs speedup=%.2fx\n",
                   name.c_str(), threads, delay, median,
                   serial_median > 0.0 ? serial_median / median : 1.0);
+      double wall = 0.0, wait = 0.0;
+      for (const bench::LaneUsage& lane : cr.lanes) {
+        // Stall = exec wall minus CPU actually burned: the lane was
+        // runnable but preempted. Counts as waiting alongside the
+        // explicit barrier/idle parks.
+        const double stall = lane.exec_s > lane.exec_cpu_s
+                                 ? lane.exec_s - lane.exec_cpu_s
+                                 : 0.0;
+        wall += lane.wall_s;
+        wait += lane.barrier_wait_s + lane.queue_idle_s + stall;
+        std::printf("       lane %d (%s): util=%.0f%% exec=%.3fs "
+                    "(cpu %.3fs) barrier=%.3fs idle=%.3fs tasks=%llu\n",
+                    lane.lane, lane.worker ? "worker" : "caller",
+                    100.0 * lane.utilization, lane.exec_s, lane.exec_cpu_s,
+                    lane.barrier_wait_s, lane.queue_idle_s,
+                    static_cast<unsigned long long>(lane.tasks));
+      }
+      if (wall > 0.0) {
+        std::printf("       wait share: %.0f%% of %.3fs lane-seconds "
+                    "(barrier+idle+preempted)\n", 100.0 * wait / wall, wall);
+      }
       std::fflush(stdout);
     }
     std::printf("\n");

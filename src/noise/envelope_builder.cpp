@@ -11,6 +11,15 @@ std::uint64_t key_of(net::NetId victim, layout::CapId cap) {
   return (static_cast<std::uint64_t>(victim) << 32) | cap;
 }
 
+// Approximate heap footprint of one cache entry: the Pwl's point storage
+// plus a flat allowance for the unordered_map node and key.
+std::int64_t entry_bytes(const wave::Pwl& pwl) {
+  constexpr std::int64_t kNodeOverhead = 64;
+  return kNodeOverhead +
+         static_cast<std::int64_t>(pwl.points().capacity() *
+                                   sizeof(wave::Point));
+}
+
 }  // namespace
 
 wave::PulseShape EnvelopeBuilder::pulse_shape(net::NetId victim,
@@ -48,7 +57,8 @@ const wave::Pwl& EnvelopeBuilder::envelope(net::NetId victim, layout::CapId cap)
   cache_misses_.add();
   wave::Pwl env = build(victim, cap, 0.0);
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
-  auto [ins, _] = cache_.try_emplace(key, std::move(env));
+  auto [ins, inserted] = cache_.try_emplace(key, std::move(env));
+  if (inserted) cache_bytes_.add(entry_bytes(ins->second));
   return ins->second;
 }
 
@@ -58,8 +68,8 @@ void EnvelopeBuilder::invalidate_net(net::NetId net) {
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   std::size_t dropped = 0;
   for (layout::CapId cap : par_->couplings_of(net)) {
-    dropped += cache_.erase(key_of(net, cap));
-    dropped += cache_.erase(key_of(par_->coupling(cap).other(net), cap));
+    dropped += erase_entry(key_of(net, cap));
+    dropped += erase_entry(key_of(par_->coupling(cap).other(net), cap));
   }
   c_inval.add(dropped);
 }
@@ -69,9 +79,17 @@ void EnvelopeBuilder::invalidate_cap(layout::CapId cap) {
       obs::registry().counter("noise.envelope_cache_invalidated");
   const layout::CouplingCap& cc = par_->coupling(cap);
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
-  std::size_t dropped = cache_.erase(key_of(cc.net_a, cap));
-  dropped += cache_.erase(key_of(cc.net_b, cap));
+  std::size_t dropped = erase_entry(key_of(cc.net_a, cap));
+  dropped += erase_entry(key_of(cc.net_b, cap));
   c_inval.add(dropped);
+}
+
+std::size_t EnvelopeBuilder::erase_entry(std::uint64_t key) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return 0;
+  cache_bytes_.add(-entry_bytes(it->second));
+  cache_.erase(it);
+  return 1;
 }
 
 wave::Pwl EnvelopeBuilder::envelope_widened(net::NetId victim, layout::CapId cap,

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "noise/coupling_calc.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "sta/timing_graph.hpp"
 #include "wave/envelope.hpp"
@@ -66,6 +67,9 @@ class EnvelopeBuilder {
 
  private:
   wave::Pwl build(net::NetId victim, layout::CapId cap, double lat_extension) const;
+  /// Erases one cache entry (caller holds cache_mu_ exclusively), keeping
+  /// the byte accounting in step. Returns the number of entries removed.
+  std::size_t erase_entry(std::uint64_t key);
 
   const net::Netlist* nl_;
   const layout::Parasitics* par_;
@@ -81,6 +85,10 @@ class EnvelopeBuilder {
   // the number of distinct keys — each racer builds once.
   obs::Counter& cache_hits_;
   obs::Counter& cache_misses_;
+  // Approximate cache footprint, published to the mem.envelope_cache_bytes
+  // gauge. The builder's contribution auto-releases on destruction, so the
+  // gauge returns to zero when every builder is torn down.
+  obs::TrackedBytes cache_bytes_{"mem.envelope_cache_bytes"};
 };
 
 }  // namespace tka::noise

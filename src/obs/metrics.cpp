@@ -17,6 +17,15 @@ MetricsSnapshot counters_delta(const MetricsSnapshot& before,
     delta.counters.emplace(name, value >= base ? value - base : 0);
   }
   delta.gauges = after.gauges;
+  for (const auto& [name, stats] : after.histograms) {
+    const auto it = before.histograms.find(name);
+    HistogramStats d = stats;  // percentiles/max carried from `after`
+    if (it != before.histograms.end()) {
+      d.count = stats.count >= it->second.count ? stats.count - it->second.count : 0;
+      d.sum = stats.sum - it->second.sum;
+    }
+    delta.histograms.emplace(name, d);
+  }
   return delta;
 }
 
@@ -52,6 +61,35 @@ void Histogram::observe(double v) {
       bits, std::bit_cast<std::uint64_t>(std::bit_cast<double>(bits) + v),
       std::memory_order_relaxed)) {
   }
+}
+
+HistogramStats Histogram::stats() const {
+  // Copy the bucket array once, then derive every field from the copy so a
+  // concurrent observe() cannot make count and percentiles disagree.
+  std::array<std::uint64_t, kNumBuckets> n{};
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    n[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  HistogramStats s;
+  for (std::uint64_t c : n) s.count += c;
+  s.sum = sum();
+  if (s.count == 0) return s;
+  // +Inf samples clamp to the top finite bound so the stats stay finite.
+  const double top_finite = upper_[kNumBuckets - 2];
+  auto bound = [&](std::size_t i) {
+    return std::isinf(upper_[i]) ? top_finite : upper_[i];
+  };
+  const std::uint64_t need50 = (s.count + 1) / 2;
+  const std::uint64_t need90 = (s.count * 9 + 9) / 10;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (n[i] == 0) continue;
+    cum += n[i];
+    if (s.p50 == 0.0 && cum >= need50) s.p50 = bound(i);
+    if (s.p90 == 0.0 && cum >= need90) s.p90 = bound(i);
+    s.max = bound(i);
+  }
+  return s;
 }
 
 void Histogram::reset() {
@@ -136,7 +174,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
   for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace(name, h->stats());
   return snap;
+}
+
+void MetricsRegistry::visit_histograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
 }
 
 void MetricsRegistry::reset() {
@@ -166,9 +211,23 @@ void register_core_metrics() {
         "pwl.merge_points", "sta.runs", "transient.solves"}) {
     reg.counter(name);
   }
-  // Gauges.
+  // Gauges. Note: runtime/memory telemetry is deliberately gauge- and
+  // histogram-valued — the bench harness records per-case *counter* deltas
+  // into BENCH_<suite>.json, and those must stay bit-identical across
+  // thread counts and obs configurations.
   for (const char* name :
-       {"topk.max_list_size", "topk.runtime_s", "session.dirty_victims"}) {
+       {"topk.max_list_size", "topk.runtime_s", "session.dirty_victims",
+        // Thread-pool attribution aggregates (see src/runtime/telemetry.hpp).
+        "runtime.workers", "runtime.lanes", "runtime.exec_s",
+        "runtime.queue_idle_s", "runtime.barrier_wait_s", "runtime.tasks",
+        "runtime.parallel_fors", "runtime.inline_fors",
+        "runtime.wavefront_levels",
+        // Per-query runtime deltas published by AnalysisSession::query.
+        "runtime.query.exec_s", "runtime.query.barrier_wait_s",
+        "runtime.query.queue_idle_s", "runtime.query.wall_s",
+        // Memory accounting (see src/obs/memory.hpp).
+        "mem.rss_bytes", "mem.rss_peak_bytes", "mem.envelope_cache_bytes",
+        "mem.candidate_tables_bytes", "mem.whatif_memo_bytes"}) {
     reg.gauge(name);
   }
   // Histograms (specs must match the instrumentation call sites).
@@ -176,6 +235,9 @@ void register_core_metrics() {
   reg.histogram("noise.fixpoint_iters", 1.0, 64.0);
   reg.histogram("sta.run_seconds", 1e-6, 100.0);
   reg.histogram("transient.solve_seconds", 1e-6, 100.0);
+  reg.histogram("runtime.task_seconds", 1e-6, 100.0);
+  reg.histogram("runtime.level_width_nets", 1.0, 1048576.0);
+  reg.histogram("runtime.level_batch_nets", 1.0, 1048576.0);
 }
 
 }  // namespace tka::obs

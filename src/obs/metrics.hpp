@@ -34,12 +34,28 @@
 
 namespace tka::obs {
 
-/// Point-in-time copy of every scalar metric (counters and gauges) in the
-/// registry. Histograms are excluded: consumers that need distribution
-/// data read write_json(). With TKA_OBS_DISABLED the snapshot is empty.
+/// Distribution summary of one histogram at snapshot time. Percentiles are
+/// bucket-resolved: each reports the upper bound of the bucket where the
+/// cumulative count crosses the quantile, so they are conservative to one
+/// bucket width. `max` is the upper bound of the highest non-empty bucket;
+/// samples landing in the +Inf overflow bucket clamp it to the histogram's
+/// top finite bound (so the JSON stays finite).
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of every metric in the registry: counters, gauges,
+/// and per-histogram distribution summaries (count/sum/p50/p90/max — full
+/// bucket arrays stay behind write_json()/visit_histograms()). With
+/// TKA_OBS_DISABLED the snapshot is empty.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
 };
 
 /// Per-name counter increments between two snapshots (`after` - `before`).
@@ -47,7 +63,9 @@ struct MetricsSnapshot {
 /// `before` are dropped. Counters are monotone, so negative deltas cannot
 /// occur outside an interleaved registry().reset(). Gauges are
 /// last-write-wins scalars with no meaningful difference, so the delta
-/// carries `after`'s gauge values unchanged.
+/// carries `after`'s gauge values unchanged. Histogram `count` and `sum`
+/// subtract like counters; the percentile fields are distribution shapes,
+/// not monotone tallies, so the delta carries `after`'s values for them.
 MetricsSnapshot counters_delta(const MetricsSnapshot& before,
                                const MetricsSnapshot& after);
 
@@ -58,6 +76,7 @@ MetricsSnapshot counters_delta(const MetricsSnapshot& before,
 #include <array>
 #include <atomic>
 #include <bit>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -93,6 +112,14 @@ class Gauge {
 /// geometrically from `lo` (bucket 0) to `hi` (bucket kNumBuckets-2); the
 /// last bucket is +inf. Values below `lo` land in bucket 0. The bounds are
 /// fixed at registration; later `histogram()` lookups ignore their spec.
+///
+/// Concurrency: observe() touches three atomics (bucket, count, sum) with
+/// no transaction around them, so a reader that races a writer can see a
+/// bucket increment before the matching count/sum update. That skew is
+/// bounded by the number of in-flight observe() calls and is benign for
+/// monitoring; stats() therefore derives its total from the bucket array
+/// itself rather than trusting count_ to match. No torn reads are possible
+/// (every field is a relaxed atomic), so TSan is clean by construction.
 class Histogram {
  public:
   static constexpr std::size_t kNumBuckets = 32;
@@ -100,6 +127,10 @@ class Histogram {
   Histogram(double lo, double hi);
 
   void observe(double v);
+
+  /// Distribution summary safe to call while workers observe() concurrently
+  /// (count is re-derived from a point-in-time bucket copy).
+  HistogramStats stats() const;
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const {
@@ -139,9 +170,17 @@ class MetricsRegistry {
   /// callers that splice extra fields into the same object.
   void write_json_fields(std::ostream& out) const;
 
-  /// Copies every counter and gauge value. The benchmark harness takes a
-  /// snapshot around each timed repetition and records the counter deltas.
+  /// Copies every counter and gauge value plus per-histogram summary stats.
+  /// The benchmark harness takes a snapshot around each timed repetition and
+  /// records the counter deltas. Safe to call while worker threads update
+  /// metrics (see the Histogram class comment for the benign-skew caveat).
   MetricsSnapshot snapshot() const;
+
+  /// Visits every registered histogram (name-ordered) under the registry
+  /// lock. Used by the Prometheus writer, which needs full bucket arrays
+  /// rather than the percentile summary carried by snapshot().
+  void visit_histograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn) const;
 
   /// Zeroes every value; metric objects (and references) survive. Tests use
   /// this to isolate runs.
@@ -190,6 +229,7 @@ class Histogram {
   double sum() const { return 0.0; }
   std::uint64_t bucket_count(std::size_t) const { return 0; }
   double bucket_upper(std::size_t) const { return 0.0; }
+  HistogramStats stats() const { return {}; }
   void reset() {}
 };
 
@@ -203,6 +243,8 @@ class MetricsRegistry {
   void write_json(std::ostream& out) const;
   void write_json_fields(std::ostream& out) const;
   MetricsSnapshot snapshot() const { return {}; }
+  template <typename Fn>
+  void visit_histograms(const Fn&) const {}
   void reset() {}
 
  private:

@@ -11,6 +11,8 @@
 #pragma once
 
 #include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/memory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 

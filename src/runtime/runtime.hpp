@@ -33,6 +33,21 @@ template <typename Fn>
 void parallel_for(int requested, std::size_t begin, std::size_t end, Fn&& fn) {
   const int threads = resolve_threads(requested);
   if (threads <= 1 || on_pool_thread()) {
+    if (begin >= end) return;
+#if TKA_OBS_ENABLED
+    // Mirror ThreadPool::parallel_for's inline accounting: a top-level
+    // serial loop books exec on the calling lane (so 1-thread runs still
+    // report per-lane utilization); nested calls stay unmeasured and are
+    // attributed to the enclosing scope.
+    telemetry::LaneSlot& lane = telemetry::this_lane(/*worker=*/false);
+    if (lane.depth == 0) {
+      telemetry::PhaseScope exec(lane, telemetry::Phase::kExec);
+      lane.tasks.fetch_add(1, std::memory_order_relaxed);
+      telemetry::note_inline_for();
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+#endif
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }

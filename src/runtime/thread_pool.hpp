@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/telemetry.hpp"
+
 namespace tka::runtime {
 
 /// True on a thread currently executing a ThreadPool task. parallel_for
@@ -86,9 +88,31 @@ class ThreadPool {
     std::size_t lanes = size() + 1;
     if (max_lanes > 0 && max_lanes < lanes) lanes = max_lanes;
     if (lanes <= 1 || n == 1 || on_pool_thread()) {
+#if TKA_OBS_ENABLED
+      // Account top-level inline runs as exec on the calling lane (so a
+      // 1-thread run still reports utilization). Nested calls — already
+      // inside an accounted phase — skip the clock reads entirely; their
+      // time is attributed to the enclosing scope.
+      telemetry::LaneSlot& lane = telemetry::this_lane(/*worker=*/false);
+      if (lane.depth == 0) {
+        telemetry::PhaseScope exec(lane, telemetry::Phase::kExec);
+        lane.tasks.fetch_add(1, std::memory_order_relaxed);
+        telemetry::note_inline_for();
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        return;
+      }
+#endif
       for (std::size_t i = begin; i < end; ++i) fn(i);
       return;
     }
+#if TKA_OBS_ENABLED
+    telemetry::LaneSlot& lane = telemetry::this_lane(/*worker=*/false);
+    telemetry::note_parallel_for();
+    // Per-chunk duration histogram (task grain). The reference stays valid
+    // forever (registry never destroys metric objects).
+    static obs::Histogram& task_hist =
+        obs::registry().histogram("runtime.task_seconds", 1e-6, 100.0);
+#endif
     const std::size_t chunks = n < lanes ? n : lanes;
     // Static partition: chunk c covers [begin + c*q + min(c, r), ...) where
     // q = n / chunks, r = n % chunks — the first r chunks get one extra.
@@ -109,11 +133,17 @@ class ThreadPool {
     auto run_chunk = [&](std::size_t c) {
       const std::size_t lo = chunk_begin(c);
       const std::size_t hi = chunk_begin(c + 1);
+#if TKA_OBS_ENABLED
+      const std::int64_t chunk_start_ns = obs::now_ns();
+#endif
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
         errors[c] = std::current_exception();
       }
+#if TKA_OBS_ENABLED
+      task_hist.observe(obs::ns_to_seconds(obs::now_ns() - chunk_start_ns));
+#endif
     };
     for (std::size_t c = 1; c < chunks; ++c) {
       enqueue([&, c]() {
@@ -122,8 +152,17 @@ class ThreadPool {
         if (--remaining == 0) done_cv.notify_one();
       });
     }
-    run_chunk(0);
     {
+#if TKA_OBS_ENABLED
+      telemetry::PhaseScope exec(lane, telemetry::Phase::kExec);
+      lane.tasks.fetch_add(1, std::memory_order_relaxed);
+#endif
+      run_chunk(0);
+    }
+    {
+#if TKA_OBS_ENABLED
+      telemetry::PhaseScope wait(lane, telemetry::Phase::kBarrierWait);
+#endif
       std::unique_lock<std::mutex> lock(done_mu);
       done_cv.wait(lock, [&]() { return remaining == 0; });
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/topo.hpp"
+#include "obs/metrics.hpp"
 
 namespace tka::runtime {
 
@@ -14,6 +15,19 @@ Wavefront::Wavefront(const net::Netlist& nl) : level_of_(net::net_levels(nl)) {
   for (net::NetId n = 0; n < level_of_.size(); ++n) {
     levels_[static_cast<std::size_t>(level_of_[n])].push_back(n);
   }
+#if TKA_OBS_ENABLED
+  // Level-structure telemetry: the number of wavefront levels and their
+  // widths bound the parallelism a level-synchronous sweep can extract
+  // (docs/PARALLELISM.md). Gauge + histogram only — never counters, which
+  // would leak into the BENCH determinism gate.
+  obs::MetricsRegistry& reg = obs::registry();
+  reg.gauge("runtime.wavefront_levels").set(static_cast<double>(levels_.size()));
+  obs::Histogram& width =
+      reg.histogram("runtime.level_width_nets", 1.0, 1048576.0);
+  for (const std::vector<net::NetId>& level : levels_) {
+    width.observe(static_cast<double>(level.size()));
+  }
+#endif
 }
 
 void filter_level(const Wavefront& wavefront, std::size_t i,

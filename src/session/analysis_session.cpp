@@ -208,6 +208,15 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
   obs::Histogram& h_ilist = reg.histogram("topk.ilist_size", 1.0, 65536.0);
   reg.counter(cold ? "topk.runs" : "topk.whatif_runs").add(1);
   const std::uint64_t sets_before = c_sets.value();
+#if TKA_OBS_ENABLED
+  // Query-scoped runtime attribution: lane deltas over this query feed the
+  // runtime.query.* gauges at the end. Batch widths go to a histogram so
+  // chunk-grain imbalance is visible per query.
+  const std::vector<runtime::LaneCounters> lanes_before =
+      runtime::lane_snapshot();
+  obs::Histogram& h_batch =
+      reg.histogram("runtime.level_batch_nets", 1.0, 1048576.0);
+#endif
 
   topk::TopkResult result;
   result.mode = opt.mode;
@@ -372,6 +381,9 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
           }
         }
         if (!batch.empty()) {
+#if TKA_OBS_ENABLED
+          h_batch.observe(static_cast<double>(batch.size()));
+#endif
           {
             obs::ScopedSpan gen_span("topk.stage.candidate");
             runtime::parallel_for(threads, 0, batch.size(), [&](std::size_t bi) {
@@ -464,6 +476,61 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
   reg.gauge("topk.max_list_size")
       .set(static_cast<double>(result.stats.max_list_size));
   reg.gauge("topk.runtime_s").set(result.stats.runtime_s);
+
+#if TKA_OBS_ENABLED
+  // Memory accounting: walk the memoized state once per query and publish
+  // the approximate footprints (mem.candidate_tables_bytes for the live
+  // I-list layers, mem.whatif_memo_bytes for the replay snapshots and
+  // winner trails).
+  {
+    std::size_t table_bytes = 0;
+    for (const std::vector<topk::IList>& layer : memo_.lists) {
+      for (const topk::IList& list : layer) table_bytes += list.approx_bytes();
+    }
+    std::size_t memo_bytes = 0;
+    for (const auto& layer : memo_.sweep0) {
+      for (const std::vector<topk::CandidateSet>& snap : layer) {
+        memo_bytes += snap.capacity() * sizeof(topk::CandidateSet);
+        for (const topk::CandidateSet& s : snap) {
+          memo_bytes += s.members.capacity() * sizeof(layout::CapId);
+          memo_bytes += s.envelope.points().capacity() * sizeof(wave::Point);
+        }
+      }
+    }
+    for (const std::vector<double>& w : memo_.winner_score) {
+      memo_bytes += w.capacity() * sizeof(double);
+    }
+    for (const auto& trails : memo_.winner_members) {
+      memo_bytes += trails.capacity() * sizeof(std::vector<layout::CapId>);
+      for (const std::vector<layout::CapId>& t : trails) {
+        memo_bytes += t.capacity() * sizeof(layout::CapId);
+      }
+    }
+    candidate_bytes_.set(static_cast<std::int64_t>(table_bytes));
+    memo_bytes_.set(static_cast<std::int64_t>(memo_bytes));
+  }
+  // Runtime attribution over just this query.
+  {
+    const std::vector<runtime::LaneCounters> query_lanes =
+        runtime::lane_delta(lanes_before, runtime::lane_snapshot());
+    std::uint64_t exec = 0, cpu = 0, idle = 0, barrier = 0;
+    for (const runtime::LaneCounters& l : query_lanes) {
+      exec += l.exec_ns;
+      cpu += l.exec_cpu_ns;
+      idle += l.queue_idle_ns;
+      barrier += l.barrier_wait_ns;
+    }
+    reg.gauge("runtime.query.exec_s")
+        .set(obs::ns_to_seconds(static_cast<std::int64_t>(exec)));
+    reg.gauge("runtime.query.exec_cpu_s")
+        .set(obs::ns_to_seconds(static_cast<std::int64_t>(cpu)));
+    reg.gauge("runtime.query.queue_idle_s")
+        .set(obs::ns_to_seconds(static_cast<std::int64_t>(idle)));
+    reg.gauge("runtime.query.barrier_wait_s")
+        .set(obs::ns_to_seconds(static_cast<std::int64_t>(barrier)));
+    reg.gauge("runtime.query.wall_s").set(result.stats.runtime_s);
+  }
+#endif
 
   log::info() << "topk: done in " << result.stats.runtime_s << " s, "
               << result.stats.sets_generated << " sets generated, "

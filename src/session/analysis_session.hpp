@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "noise/coupling_calc.hpp"
+#include "obs/memory.hpp"
 #include "runtime/wavefront.hpp"
 #include "session/what_if.hpp"
 #include "topk/stages/stage_context.hpp"
@@ -97,6 +98,11 @@ class AnalysisSession {
   topk::stages::BaselineState base_;
   topk::stages::SweepMemo memo_;
   std::unique_ptr<runtime::Wavefront> wavefront_;
+  /// Approximate footprint of the memoized enumeration state, refreshed at
+  /// the end of every query and published as mem.* gauges. Contributions
+  /// auto-release on session teardown (the TrackedBytes balance invariant).
+  obs::TrackedBytes candidate_bytes_{"mem.candidate_tables_bytes"};
+  obs::TrackedBytes memo_bytes_{"mem.whatif_memo_bytes"};
   /// Addition-mode warm-evaluation base: the mask=none fixpoint, primed on
   /// the first what_if (cold runs never need it).
   std::unique_ptr<noise::IncrementalFixpoint> fp_none_;

@@ -93,4 +93,17 @@ void IList::clear() {
   best_ = kNoBest;
 }
 
+std::size_t IList::approx_bytes() const {
+  // Per index node: hash/index pair plus a flat bucket+link allowance.
+  constexpr std::size_t kIndexNodeBytes =
+      sizeof(std::pair<std::uint64_t, size_t>) + 2 * sizeof(void*);
+  std::size_t bytes = sets_.capacity() * sizeof(CandidateSet) +
+                      index_.size() * kIndexNodeBytes;
+  for (const CandidateSet& s : sets_) {
+    bytes += s.members.capacity() * sizeof(layout::CapId);
+    bytes += s.envelope.points().capacity() * sizeof(wave::Point);
+  }
+  return bytes;
+}
+
 }  // namespace tka::topk

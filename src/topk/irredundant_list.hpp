@@ -48,6 +48,11 @@ class IList {
   /// tie-breaking as a first-strictly-greater scan (lowest index wins).
   const CandidateSet& best() const;
 
+  /// Approximate heap footprint of this list (set storage including member
+  /// vectors and envelope points, plus the dedup index). Feeds the
+  /// mem.candidate_tables_bytes gauge; observability only, never exact.
+  std::size_t approx_bytes() const;
+
   void clear();
 
  private:

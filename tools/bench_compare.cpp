@@ -7,7 +7,9 @@
 //                            (default 1e-6; negative disables)
 //     --counter-threshold F  max relative counter growth (default 0.10;
 //                            negative disables)
-//     --skip-time | --skip-values | --skip-counters
+//     --memory-threshold F   max relative peak-RSS growth (default 0.35;
+//                            negative disables)
+//     --skip-time | --skip-values | --skip-counters | --skip-memory
 //                            shorthand for a negative threshold
 //
 // Exit codes: 0 = no regression, 1 = regression found, 2 = unusable input
@@ -31,7 +33,8 @@ namespace {
                "  --time-threshold F     default 0.15 (relative; <0 skips)\n"
                "  --value-threshold F    default 1e-6 (relative; <0 skips)\n"
                "  --counter-threshold F  default 0.10 (relative; <0 skips)\n"
-               "  --skip-time --skip-values --skip-counters\n");
+               "  --memory-threshold F   default 0.35 (relative; <0 skips)\n"
+               "  --skip-time --skip-values --skip-counters --skip-memory\n");
   std::exit(exit_code);
 }
 
@@ -65,12 +68,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--counter-threshold") {
       if (!parse_double(next(), &v)) usage(2);
       opt.counter_threshold = v;
+    } else if (arg == "--memory-threshold") {
+      if (!parse_double(next(), &v)) usage(2);
+      opt.memory_threshold = v;
     } else if (arg == "--skip-time") {
       opt.time_threshold = -1.0;
     } else if (arg == "--skip-values") {
       opt.value_threshold = -1.0;
     } else if (arg == "--skip-counters") {
       opt.counter_threshold = -1.0;
+    } else if (arg == "--skip-memory") {
+      opt.memory_threshold = -1.0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "bench_compare: unknown option %s\n",
                    std::string(arg).c_str());

@@ -18,6 +18,9 @@
 //   --trace FILE.json     record spans; write Chrome trace-event JSON
 //                         (open in chrome://tracing or ui.perfetto.dev)
 //   --metrics FILE.json   write the metrics registry + span summary JSON
+//   --metrics-out FILE    periodic JSONL metric snapshots while the command
+//                         runs, plus an RSS sampler (docs/OBSERVABILITY.md)
+//   --metrics-interval MS snapshot period for --metrics-out (default 500)
 //   --log-level LEVEL     debug|info|warn|error|off (default warn)
 //
 // <netlist> is a .bench or .v file (by extension). Without --spef,
@@ -60,6 +63,8 @@ struct Args {
   std::string out_path;
   std::string trace_path;    // --trace: Chrome trace-event JSON
   std::string metrics_path;  // --metrics: registry + span summary JSON
+  std::string metrics_out;   // --metrics-out: periodic JSONL snapshots
+  int metrics_interval_ms = 500;
   int k = 10;
   int num_paths = 5;
   int threads = 0;  // --threads: 0 = auto (TKA_THREADS, then hw concurrency)
@@ -72,6 +77,7 @@ struct Args {
                "usage: tka <analyze|topk|whatif|glitch|paths|convert> <netlist> "
                "[--spef F] [--clock T] [-k N] [--mode add|elim] [-n N] "
                "[--threads N] [--out F] [--trace F.json] [--metrics F.json] "
+               "[--metrics-out F.jsonl] [--metrics-interval MS] "
                "[--log-level debug|info|warn|error|off]\n");
   std::exit(2);
 }
@@ -93,6 +99,11 @@ Args parse_args(int argc, char** argv) {
       args.trace_path = next();
     } else if (a == "--metrics") {
       args.metrics_path = next();
+    } else if (a == "--metrics-out") {
+      args.metrics_out = next();
+    } else if (a == "--metrics-interval") {
+      args.metrics_interval_ms = std::atoi(next().c_str());
+      if (args.metrics_interval_ms <= 0) usage();
     } else if (a == "--log-level") {
       log::Level level;
       if (!log::parse_level(next(), &level)) usage();
@@ -317,6 +328,17 @@ int main(int argc, char** argv) {
       obs::register_core_metrics();
       obs::tracer().enable(true);
     }
+    std::unique_ptr<obs::MetricsFileSink> sink;
+    std::unique_ptr<obs::RssSampler> rss;
+    if (!args.metrics_out.empty()) {
+      obs::register_core_metrics();
+      sink = std::make_unique<obs::MetricsFileSink>(args.metrics_out,
+                                                    args.metrics_interval_ms);
+      TKA_CHECK(sink->ok(), "cannot open --metrics-out file");
+      // Drive the mem.rss_* gauges so the snapshot timeline shows the
+      // footprint, not just the counters.
+      rss = std::make_unique<obs::RssSampler>(args.metrics_interval_ms);
+    }
     int rc = -1;
     if (args.command == "analyze") rc = cmd_analyze(args);
     else if (args.command == "topk") rc = cmd_topk(args);
@@ -331,7 +353,14 @@ int main(int argc, char** argv) {
       obs::tracer().write_chrome_json(out);
       std::printf("wrote %s\n", args.trace_path.c_str());
     }
+    if (rss) rss->stop();
+    if (sink) {
+      sink->stop();
+      std::printf("wrote %s (%llu snapshot records)\n", args.metrics_out.c_str(),
+                  static_cast<unsigned long long>(sink->records()));
+    }
     if (!args.metrics_path.empty()) {
+      obs::run_collectors();
       std::ofstream out(args.metrics_path);
       TKA_CHECK(static_cast<bool>(out), "cannot open --metrics file");
       obs::write_metrics_json(out);
