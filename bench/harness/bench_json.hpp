@@ -1,55 +1,11 @@
-// Minimal recursive-descent JSON reader for BENCH_*.json documents.
-//
-// Scope: standard JSON (RFC 8259) minus exotic corners — numbers parse via
-// strtod, \uXXXX escapes decode to UTF-8 (surrogate pairs supported),
-// objects preserve insertion order and keep the *last* value for a
-// duplicated key. Depth is capped to keep malformed input from recursing
-// the stack away. This exists so `bench_compare` and the tests don't need
-// an external JSON dependency; it is an input-side complement to the
-// hand-rolled writers in obs/ and the harness.
+// The BENCH_*.json reader. The parser itself lives in util/json.hpp (it is
+// shared with the analysis server's wire protocol and perf tooling); this
+// header keeps the historical tka::bench::json spelling alive for the bench
+// tools and tests.
 #pragma once
 
-#include <cstddef>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
+#include "util/json.hpp"
 
-namespace tka::bench::json {
-
-/// A parsed JSON value (tagged union over the seven JSON shapes).
-class Value {
- public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Value> array;
-  std::vector<std::pair<std::string, Value>> object;  // insertion order
-
-  bool is_null() const { return type == Type::kNull; }
-  bool is_bool() const { return type == Type::kBool; }
-  bool is_number() const { return type == Type::kNumber; }
-  bool is_string() const { return type == Type::kString; }
-  bool is_array() const { return type == Type::kArray; }
-  bool is_object() const { return type == Type::kObject; }
-
-  /// Object member lookup; nullptr when absent or not an object.
-  const Value* find(std::string_view key) const;
-
-  /// `find` + type/number convenience: returns `fallback` when the member
-  /// is absent or not a number.
-  double number_or(std::string_view key, double fallback) const;
-};
-
-/// Parses a complete JSON document (leading/trailing whitespace allowed,
-/// nothing else may follow). On failure returns false and describes the
-/// problem (with a byte offset) in *error.
-bool parse(std::string_view text, Value* out, std::string* error);
-
-/// Reads and parses a file. On failure returns false with *error set.
-bool parse_file(const std::string& path, Value* out, std::string* error);
-
-}  // namespace tka::bench::json
+namespace tka::bench {
+namespace json = tka::util::json;
+}  // namespace tka::bench

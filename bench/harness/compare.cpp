@@ -72,6 +72,26 @@ void compare_one(const std::string& name, const json::Value& base,
     }
   }
 
+  // --- telemetry (notes only) ---
+  // Runtime observations (qps, latency percentiles) are machine- and
+  // load-dependent; surface the comparison for a human but never gate.
+  {
+    const json::Value* bt = base.find("telemetry");
+    const json::Value* ct = cand.find("telemetry");
+    if (bt != nullptr && bt->is_object()) {
+      for (const auto& [key, bval] : bt->object) {
+        if (!bval.is_number()) continue;
+        const json::Value* cval = ct != nullptr ? ct->find(key) : nullptr;
+        if (cval == nullptr || !cval->is_number()) continue;
+        const double rel = rel_increase(bval.number, cval->number);
+        result->notes.push_back(str::format(
+            "%s: telemetry '%s' %.6g -> %.6g (%+.1f%%, informational)",
+            name.c_str(), key.c_str(), bval.number, cval->number,
+            100.0 * rel));
+      }
+    }
+  }
+
   // --- counters ---
   if (opt.counter_threshold >= 0.0) {
     const json::Value* bc = base.find("counters");

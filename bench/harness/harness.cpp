@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "obs/signal_flush.hpp"
 #include "runtime/runtime.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
@@ -87,6 +88,16 @@ void Reporter::value(std::string_view name, double v) {
     }
   }
   values_.emplace_back(std::string(name), v);
+}
+
+void Reporter::telemetry(std::string_view name, double v) {
+  for (auto& [k, existing] : telemetry_) {
+    if (k == name) {
+      existing = v;
+      return;
+    }
+  }
+  telemetry_.emplace_back(std::string(name), v);
 }
 
 Harness::Harness(int argc, char* const* argv, std::string suite) {
@@ -177,6 +188,26 @@ Harness::Harness(int argc, char* const* argv, std::string suite) {
       std::exit(2);
     }
   }
+  // A Ctrl-C mid-suite still flushes the JSONL sink's final record and the
+  // trace/metrics dumps — partial observability beats none on a run that
+  // took minutes to get where it was.
+  if (metrics_sink_ != nullptr || obs::tracer().enabled()) {
+    obs::install_signal_flush();
+    obs::add_flush_hook([this] {
+      if (metrics_sink_) metrics_sink_->stop();
+      if (const char* path = std::getenv("TKA_BENCH_TRACE")) {
+        std::ofstream tout(path);
+        if (tout) obs::tracer().write_chrome_json(tout);
+      }
+      if (const char* path = std::getenv("TKA_BENCH_METRICS")) {
+        std::ofstream mout(path);
+        if (mout) {
+          obs::run_collectors();
+          obs::write_metrics_json(mout);
+        }
+      }
+    });
+  }
   g_active = this;
 }
 
@@ -261,6 +292,7 @@ bool Harness::run_case(const std::string& name,
   result.peak_rss_bytes = obs::peak_rss_bytes();
   result.time = summarize_samples(std::move(samples));
   result.values = std::move(reporter.values_);
+  result.telemetry = std::move(reporter.telemetry_);
   results_.push_back(std::move(result));
   return true;
 }
@@ -294,6 +326,12 @@ std::string render_bench_json(const HarnessConfig& config,
     out << "      \"values\": {";
     bool first = true;
     for (const auto& [name, v] : r.values) {
+      out << (first ? "" : ", ") << "\"" << json_escape(name) << "\": " << num(v);
+      first = false;
+    }
+    out << "},\n      \"telemetry\": {";
+    first = true;
+    for (const auto& [name, v] : r.telemetry) {
       out << (first ? "" : ", ") << "\"" << json_escape(name) << "\": " << num(v);
       first = false;
     }

@@ -83,9 +83,17 @@ class Reporter {
   /// within a rep and across reps).
   void value(std::string_view name, double v);
 
+  /// Records a *nondeterministic* runtime observation (throughput, latency
+  /// percentiles...) for the current case. Telemetry lands in its own JSON
+  /// section and is reported by bench_compare as informational notes only —
+  /// never a regression — so suites measuring service behavior (qps, p99)
+  /// can record it without tripping the tight `values` gate.
+  void telemetry(std::string_view name, double v);
+
  private:
   friend class Harness;
   std::vector<std::pair<std::string, double>> values_;
+  std::vector<std::pair<std::string, double>> telemetry_;
 };
 
 /// One execution lane's activity during a case's last timed rep (from
@@ -116,6 +124,9 @@ struct CaseResult {
   std::string name;
   TimeStats time;
   std::vector<std::pair<std::string, double>> values;
+  /// Nondeterministic observations (Reporter::telemetry); notes-only in
+  /// bench_compare.
+  std::vector<std::pair<std::string, double>> telemetry;
   std::map<std::string, std::uint64_t> counters;
   std::uint64_t peak_rss_bytes = 0;  ///< process VmHWM after the case
   std::uint64_t rss_bytes = 0;       ///< process VmRSS after the case

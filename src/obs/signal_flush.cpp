@@ -1,0 +1,118 @@
+#include "obs/signal_flush.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+namespace tka::obs {
+namespace {
+
+// Written by the signal handler, read by the watcher. A pipe rather than a
+// flag so the watcher can block in read() with zero idle cost.
+int g_pipe[2] = {-1, -1};
+
+std::mutex& state_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct State {
+  std::map<int, std::function<void()>> hooks;
+  int next_id = 0;
+  std::function<void(int)> delegate;
+  bool delegate_used = false;
+  bool installed = false;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+extern "C" void on_signal(int signo) {
+  const unsigned char b = static_cast<unsigned char>(signo);
+  // The only async-signal-safe thing here is the write; the watcher does
+  // the rest. A full pipe (absurdly many signals) just drops the byte.
+  [[maybe_unused]] ssize_t r = ::write(g_pipe[1], &b, 1);
+}
+
+void watcher_loop() {
+  unsigned char b = 0;
+  while (::read(g_pipe[0], &b, 1) == 1 || errno == EINTR) {
+    if (b == 0) continue;
+    const int signo = static_cast<int>(b);
+    std::function<void(int)> delegate;
+    {
+      std::lock_guard<std::mutex> lock(state_mu());
+      if (state().delegate && !state().delegate_used) {
+        state().delegate_used = true;
+        delegate = state().delegate;
+      }
+    }
+    if (delegate) {
+      delegate(signo);
+      continue;  // graceful path; a second signal falls through below
+    }
+    run_flush_hooks();
+    std::_Exit(128 + signo);
+  }
+}
+
+}  // namespace
+
+void install_signal_flush() {
+  std::lock_guard<std::mutex> lock(state_mu());
+  if (state().installed) return;
+  if (::pipe(g_pipe) != 0) return;  // no pipe, no handler — degrade silently
+  state().installed = true;
+
+  std::thread(watcher_loop).detach();
+
+  struct sigaction sa;
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+int add_flush_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(state_mu());
+  const int id = state().next_id++;
+  state().hooks.emplace(id, std::move(hook));
+  return id;
+}
+
+void remove_flush_hook(int id) {
+  std::lock_guard<std::mutex> lock(state_mu());
+  state().hooks.erase(id);
+}
+
+void run_flush_hooks() {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(state_mu());
+    hooks.reserve(state().hooks.size());
+    for (auto& [id, fn] : state().hooks) hooks.push_back(fn);
+  }
+  for (auto& fn : hooks) {
+    try {
+      fn();
+    } catch (...) {
+      // One failing flush must not mask the others.
+    }
+  }
+}
+
+void set_graceful_delegate(std::function<void(int)> delegate) {
+  std::lock_guard<std::mutex> lock(state_mu());
+  state().delegate = std::move(delegate);
+  state().delegate_used = false;
+}
+
+}  // namespace tka::obs

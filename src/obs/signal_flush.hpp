@@ -1,0 +1,44 @@
+// Flush-on-signal: SIGINT/SIGTERM handlers that run registered flush hooks
+// (stop --metrics-out sinks, write trace files) before the process dies, so
+// an interrupted run still leaves complete observability artifacts behind.
+//
+// Mechanics: the async-signal-safe handler writes the signal number to a
+// self-pipe; a lazily started watcher thread reads it and reacts on the
+// normal (non-signal) side, so hooks may allocate, lock and do file I/O.
+//
+// Two modes:
+//   - Default: the watcher runs every hook once, then _Exit(128+sig) — the
+//     conventional killed-by-signal status, with no static destructors
+//     (hooks already flushed everything worth flushing).
+//   - Graceful delegate (set by `tka serve`): the first signal is handed to
+//     the delegate (which typically requests a server drain) and the
+//     process keeps running; a second signal falls back to the default
+//     flush-and-exit path, so a wedged drain can still be interrupted.
+//
+// Hooks must be idempotent: a run that finishes normally flushes its sinks
+// itself and removes (or just re-runs) its hooks.
+#pragma once
+
+#include <functional>
+
+namespace tka::obs {
+
+/// Installs the SIGINT/SIGTERM handlers and starts the watcher thread.
+/// Idempotent; call once the process has something to flush.
+void install_signal_flush();
+
+/// Registers a hook the watcher runs on a fatal signal (and that
+/// run_flush_hooks() runs). Returns an id for remove_flush_hook().
+int add_flush_hook(std::function<void()> hook);
+void remove_flush_hook(int id);
+
+/// Runs every registered hook once, swallowing exceptions (a failing flush
+/// must not mask the others). Callable from normal exit paths too.
+void run_flush_hooks();
+
+/// Routes the *first* signal to `delegate(signo)` instead of exiting
+/// (pass an empty function to clear). The second signal always takes the
+/// flush-and-exit path.
+void set_graceful_delegate(std::function<void(int)> delegate);
+
+}  // namespace tka::obs

@@ -1,0 +1,64 @@
+#include "server/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.hpp"
+
+namespace tka::server {
+
+bool Client::connect_tcp(const std::string& host, int port,
+                         std::string* error) {
+  fd_ = server::connect_tcp(host, port, error);
+  decoder_ = FrameDecoder();
+  return fd_.valid();
+}
+
+bool Client::connect_unix(const std::string& path, std::string* error) {
+  fd_ = server::connect_unix(path, error);
+  decoder_ = FrameDecoder();
+  return fd_.valid();
+}
+
+bool Client::send(const std::string& request, std::string* error) {
+  const std::string frame = encode_frame(request);
+  if (!write_all(fd_.get(), frame.data(), frame.size())) {
+    *error = str::format("send: %s", std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool Client::receive(std::string* response, std::string* error) {
+  char buf[65536];
+  while (true) {
+    switch (decoder_.next(response)) {
+      case FrameDecoder::Status::kFrame:
+        return true;
+      case FrameDecoder::Status::kError:
+        *error = decoder_.error();
+        return false;
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    const long n = read_some(fd_.get(), buf, sizeof(buf));
+    if (n < 0) {
+      *error = str::format("recv: %s", std::strerror(errno));
+      return false;
+    }
+    if (n == 0) {
+      *error = decoder_.finish() == FrameDecoder::Status::kError
+                   ? decoder_.error()
+                   : "connection closed by server";
+      return false;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::call(const std::string& request, std::string* response,
+                  std::string* error) {
+  return send(request, error) && receive(response, error);
+}
+
+}  // namespace tka::server

@@ -1,0 +1,39 @@
+// Blocking client for the `tka serve` wire protocol, shared by the load
+// generator (tools/tka_load), the latency bench (bench/serve_load) and the
+// protocol tests. One connection, synchronous call() — callers that want
+// concurrency open one client per thread.
+#pragma once
+
+#include <string>
+
+#include "server/frame.hpp"
+#include "server/socket_util.hpp"
+
+namespace tka::server {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connect to 127.0.0.1:`port` or to a unix socket path.
+  bool connect_tcp(const std::string& host, int port, std::string* error);
+  bool connect_unix(const std::string& path, std::string* error);
+  bool connected() const { return fd_.valid(); }
+  void close() { fd_ = Fd(); }
+
+  /// Sends one request payload and blocks for one response payload.
+  /// Responses arrive in completion order, but a single synchronous caller
+  /// never has more than one in flight, so pairing is trivial.
+  bool call(const std::string& request, std::string* response,
+            std::string* error);
+
+  /// One half each, for pipelined use (N sends, then N receives).
+  bool send(const std::string& request, std::string* error);
+  bool receive(std::string* response, std::string* error);
+
+ private:
+  Fd fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace tka::server

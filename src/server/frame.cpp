@@ -1,0 +1,70 @@
+#include "server/frame.hpp"
+
+#include "util/string_util.hpp"
+
+namespace tka::server {
+
+std::string encode_frame(std::string_view payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(const void* data, std::size_t n) {
+  if (broken_ || n == 0) return;
+  compact();
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+FrameDecoder::Status FrameDecoder::fail(const std::string& what) {
+  broken_ = true;
+  if (error_.empty()) error_ = what;
+  return Status::kError;
+}
+
+void FrameDecoder::compact() {
+  // Reclaim handed-out bytes once they dominate the buffer, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string* payload) {
+  if (broken_) return Status::kError;
+  if (buffered() < 4) return Status::kNeedMore;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint64_t len = (static_cast<std::uint64_t>(p[0]) << 24) |
+                            (static_cast<std::uint64_t>(p[1]) << 16) |
+                            (static_cast<std::uint64_t>(p[2]) << 8) |
+                            static_cast<std::uint64_t>(p[3]);
+  if (len > max_frame_bytes_) {
+    return fail(str::format("oversized frame: length prefix %llu exceeds the "
+                            "%zu-byte limit",
+                            static_cast<unsigned long long>(len),
+                            max_frame_bytes_));
+  }
+  if (buffered() < 4 + len) return Status::kNeedMore;
+  payload->assign(buffer_, consumed_ + 4, static_cast<std::size_t>(len));
+  consumed_ += 4 + static_cast<std::size_t>(len);
+  compact();
+  return Status::kFrame;
+}
+
+FrameDecoder::Status FrameDecoder::finish() {
+  if (broken_) return Status::kError;
+  if (buffered() == 0) return Status::kNeedMore;
+  return fail(str::format("truncated frame: stream ended with %zu buffered "
+                          "byte(s) of an unfinished frame",
+                          buffered()));
+}
+
+}  // namespace tka::server

@@ -1,0 +1,70 @@
+// Length-prefixed framing for the `tka serve` wire protocol
+// (docs/SERVER.md).
+//
+// A frame is a 4-byte big-endian unsigned payload length followed by that
+// many bytes of UTF-8 text — one JSON request or response object per frame
+// (the JSON-lines payload convention, with the length prefix making message
+// boundaries explicit so a reader never has to scan for newlines inside
+// string escapes).
+//
+// The decoder is incremental and allocation-frugal: feed it whatever the
+// socket produced, pull complete frames out, and ask it at EOF whether the
+// stream ended on a frame boundary. A length prefix above the configured
+// maximum is a hard protocol error (the connection cannot be resynchronized
+// once framing is lost), as is a stream that ends mid-frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tka::server {
+
+/// Default ceiling on a single frame's payload. Large enough for any result
+/// on realistic designs, small enough that a corrupt or hostile length
+/// prefix cannot make the server buffer gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Frames `payload`: 4-byte big-endian length, then the payload bytes.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame parser over a byte stream.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< *payload holds the next frame
+    kError,     ///< framing is broken; error() describes why
+  };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends `n` bytes from the stream. No-op once in the error state.
+  void feed(const void* data, std::size_t n);
+
+  /// Extracts the next complete frame. Call repeatedly until it stops
+  /// returning kFrame (one feed can complete several frames).
+  Status next(std::string* payload);
+
+  /// Call at end-of-stream: kNeedMore when the stream ended exactly on a
+  /// frame boundary, kError ("truncated frame") when bytes of an
+  /// unfinished frame remain buffered.
+  Status finish();
+
+  const std::string& error() const { return error_; }
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  Status fail(const std::string& what);
+  void compact();
+
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already handed out
+  bool broken_ = false;
+  std::string error_;
+};
+
+}  // namespace tka::server

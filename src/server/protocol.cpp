@@ -1,0 +1,220 @@
+#include "server/protocol.hpp"
+
+#include <cmath>
+
+#include "io/report_writer.hpp"
+#include "util/string_util.hpp"
+
+namespace tka::server {
+namespace {
+
+using util::json::Value;
+
+/// Exact round-trip double: 17 significant digits reproduce the bit
+/// pattern through strtod on every IEEE-754 platform.
+std::string num17(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return str::format("%.17g", v);
+}
+
+bool get_u64(const Value& obj, std::string_view key, std::uint64_t* out) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number() || v->number < 0.0) return false;
+  *out = static_cast<std::uint64_t>(v->number);
+  return true;
+}
+
+/// Reads an array of non-negative integers (coupling/gate ids).
+bool get_id_array(const Value& obj, std::string_view key,
+                  std::vector<std::uint32_t>* out, std::string* message) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return true;  // absent = empty
+  if (!v->is_array()) {
+    *message = str::format("'%.*s' must be an array of ids",
+                           static_cast<int>(key.size()), key.data());
+    return false;
+  }
+  for (const Value& e : v->array) {
+    if (!e.is_number() || e.number < 0.0 ||
+        e.number != std::floor(e.number)) {
+      *message = str::format("'%.*s' entries must be non-negative integers",
+                             static_cast<int>(key.size()), key.data());
+      return false;
+    }
+    out->push_back(static_cast<std::uint32_t>(e.number));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownDesign: return "unknown_design";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDraining: return "draining";
+    case ErrorCode::kLoadFailed: return "load_failed";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+bool parse_request(const std::string& payload, Request* out, ErrorCode* code,
+                   std::string* message) {
+  Value doc;
+  std::string parse_err;
+  if (!util::json::parse(payload, &doc, &parse_err)) {
+    *code = ErrorCode::kParseError;
+    *message = parse_err;
+    return false;
+  }
+  *code = ErrorCode::kBadRequest;
+  if (!doc.is_object()) {
+    *message = "request must be a JSON object";
+    return false;
+  }
+  // id is optional (defaults to 0) but must be numeric when present.
+  if (const Value* id = doc.find("id"); id != nullptr) {
+    if (!get_u64(doc, "id", &out->id)) {
+      *message = "'id' must be a non-negative number";
+      return false;
+    }
+  }
+  const Value* op = doc.find("op");
+  if (op == nullptr || !op->is_string() || op->string.empty()) {
+    *message = "missing or non-string 'op'";
+    return false;
+  }
+  out->op = op->string;
+
+  if (const Value* d = doc.find("design"); d != nullptr) {
+    if (!d->is_string()) {
+      *message = "'design' must be a string";
+      return false;
+    }
+    out->design = d->string;
+  }
+  if (const Value* kv = doc.find("k"); kv != nullptr) {
+    if (!kv->is_number() || kv->number < 1.0 || kv->number > 1e6 ||
+        kv->number != std::floor(kv->number)) {
+      *message = "'k' must be a positive integer";
+      return false;
+    }
+    out->k = static_cast<int>(kv->number);
+  }
+  if (const Value* m = doc.find("mode"); m != nullptr) {
+    if (m->is_string() && (m->string == "add" || m->string == "addition")) {
+      out->mode = topk::Mode::kAddition;
+    } else if (m->is_string() &&
+               (m->string == "elim" || m->string == "elimination")) {
+      out->mode = topk::Mode::kElimination;
+    } else {
+      *message = "'mode' must be \"add\" or \"elim\"";
+      return false;
+    }
+  }
+
+  if (out->op == "what_if") {
+    std::vector<std::uint32_t> zero, shield;
+    if (!get_id_array(doc, "zero", &zero, message)) return false;
+    if (!get_id_array(doc, "shield", &shield, message)) return false;
+    out->edit.zero_couplings.assign(zero.begin(), zero.end());
+    out->edit.shield_couplings.assign(shield.begin(), shield.end());
+    if (const Value* rz = doc.find("resize"); rz != nullptr) {
+      if (!rz->is_array()) {
+        *message = "'resize' must be an array of {gate, cell} objects";
+        return false;
+      }
+      for (const Value& e : rz->array) {
+        std::uint64_t gate = 0, cell = 0;
+        if (!e.is_object() || !get_u64(e, "gate", &gate) ||
+            !get_u64(e, "cell", &cell)) {
+          *message = "'resize' entries must be {\"gate\": N, \"cell\": N}";
+          return false;
+        }
+        out->edit.resizes.push_back(
+            {static_cast<net::GateId>(gate), static_cast<std::size_t>(cell)});
+      }
+    }
+    if (out->edit.empty()) {
+      *message = "what_if requires at least one of zero/shield/resize";
+      return false;
+    }
+  }
+
+  if (out->op == "load") {
+    const Value* p = doc.find("netlist_path");
+    if (p == nullptr || !p->is_string()) {
+      *message = "load requires a string 'netlist_path'";
+      return false;
+    }
+    out->netlist_path = p->string;
+    if (const Value* s = doc.find("spef_path"); s != nullptr) {
+      if (!s->is_string()) {
+        *message = "'spef_path' must be a string";
+        return false;
+      }
+      out->spef_path = s->string;
+    }
+  }
+  return true;
+}
+
+std::string make_error_response(std::uint64_t id, ErrorCode code,
+                                const std::string& message) {
+  return str::format(
+      "{\"id\": %llu, \"ok\": false, \"error\": {\"code\": \"%s\", "
+      "\"message\": \"%s\"}}",
+      static_cast<unsigned long long>(id), error_code_name(code),
+      io::json_escape(message).c_str());
+}
+
+std::string make_ok_response(std::uint64_t id, std::uint64_t epoch,
+                             const std::string& extra) {
+  std::string out = str::format("{\"id\": %llu, \"ok\": true, \"epoch\": %llu",
+                                static_cast<unsigned long long>(id),
+                                static_cast<unsigned long long>(epoch));
+  if (!extra.empty()) {
+    out += ", ";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_topk_result(const net::Netlist& nl,
+                               const layout::Parasitics& par,
+                               const topk::TopkResult& result, int k) {
+  std::string out = "{";
+  out += str::format(
+      "\"mode\": \"%s\", \"k\": %d",
+      result.mode == topk::Mode::kAddition ? "addition" : "elimination", k);
+  out += ", \"baseline_delay_ns\": " + num17(result.baseline_delay);
+  out += ", \"estimated_delay_ns\": " + num17(result.estimated_delay);
+  out += ", \"evaluated_delay_ns\": " + num17(result.evaluated_delay);
+  out += ", \"members\": [";
+  bool first = true;
+  for (layout::CapId id : result.members) {
+    const layout::CouplingCap& cc = par.coupling(id);
+    out += str::format(
+        "%s{\"cap\": %u, \"net_a\": \"%s\", \"net_b\": \"%s\", \"cap_pf\": %s}",
+        first ? "" : ", ", static_cast<unsigned>(id),
+        io::json_escape(nl.net(cc.net_a).name).c_str(),
+        io::json_escape(nl.net(cc.net_b).name).c_str(),
+        num17(cc.cap_pf).c_str());
+    first = false;
+  }
+  out += "], \"estimated_delay_by_k\": [";
+  first = true;
+  for (double d : result.estimated_delay_by_k) {
+    out += (first ? "" : ", ") + num17(d);
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tka::server

@@ -1,0 +1,84 @@
+// Wire-protocol message types for `tka serve` (docs/SERVER.md).
+//
+// Every frame payload is one JSON object. Requests carry a caller-chosen
+// `id` that is echoed on the response, so clients may pipeline freely and
+// match responses out of order. Responses are either
+//
+//   {"id": N, "ok": true, "epoch": E, ...op-specific fields...}
+//   {"id": N, "ok": false, "error": {"code": "...", "message": "..."}}
+//
+// The deterministic portion of a query response (the `result` object built
+// by render_topk_result) is the server's correctness contract: it must be
+// byte-identical to the same query run one-shot against the same design
+// state, at any concurrency. Timing fields live outside `result` so the
+// contract stays checkable by string comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "session/what_if.hpp"
+#include "topk/topk_engine.hpp"
+#include "util/json.hpp"
+
+namespace tka::server {
+
+/// Typed error vocabulary. The wire form is the kebab-less snake name from
+/// error_code_name(); clients switch on it (the load generator counts
+/// `overloaded` separately from transport failures, for example).
+enum class ErrorCode {
+  kParseError,     ///< frame payload is not valid JSON
+  kBadRequest,     ///< valid JSON, invalid shape (missing op, bad types...)
+  kUnknownOp,      ///< op string not in the protocol
+  kUnknownDesign,  ///< no loaded design under that name
+  kOverloaded,     ///< shard queue full — admission control rejection
+  kDraining,       ///< server is shutting down; no new queries
+  kLoadFailed,     ///< design load/parse failure
+  kInternal,       ///< engine error while serving the query
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// A parsed request. `op` selects which of the remaining fields matter.
+struct Request {
+  std::uint64_t id = 0;
+  std::string op;
+
+  std::string design;  // topk / what_if / load / unload
+  int k = 10;          // topk / what_if
+  topk::Mode mode = topk::Mode::kElimination;
+
+  session::WhatIfEdit edit;  // what_if
+
+  std::string netlist_path;  // load
+  std::string spef_path;     // load (optional)
+};
+
+/// Parses a frame payload into *out. On failure returns false with *code
+/// (kParseError for non-JSON, kBadRequest for shape errors) and a
+/// human-readable *message.
+bool parse_request(const std::string& payload, Request* out, ErrorCode* code,
+                   std::string* message);
+
+/// {"id": N, "ok": false, "error": {...}} — the only response shape for
+/// failures.
+std::string make_error_response(std::uint64_t id, ErrorCode code,
+                                const std::string& message);
+
+/// {"id": N, "ok": true, "epoch": E, <extra>} where `extra` is a
+/// pre-rendered sequence of `"key": value` members (may be empty).
+std::string make_ok_response(std::uint64_t id, std::uint64_t epoch,
+                             const std::string& extra);
+
+/// The canonical, deterministic rendering of a top-k result: mode, k,
+/// delays and the chosen member set with endpoint names and cap values.
+/// Doubles print with %.17g so the text round-trips bit-exactly; no
+/// wall-clock or machine-dependent field appears. Both the server and the
+/// one-shot comparison path (tests, bench/serve_load) use this renderer, so
+/// "responses are bit-identical to a one-shot run" reduces to string
+/// equality.
+std::string render_topk_result(const net::Netlist& nl,
+                               const layout::Parasitics& par,
+                               const topk::TopkResult& result, int k);
+
+}  // namespace tka::server

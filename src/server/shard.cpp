@@ -1,0 +1,253 @@
+#include "server/shard.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "util/string_util.hpp"
+
+namespace tka::server {
+namespace {
+
+/// Applies one committed edit to a replica's private design copy — the same
+/// three primitive operations AnalysisSession::what_if performs on its own
+/// copies, so a replica that replayed the log holds exactly the design the
+/// writer session holds.
+void apply_edit(net::Netlist& nl, layout::Parasitics& par,
+                const session::WhatIfEdit& edit) {
+  for (layout::CapId id : edit.zero_couplings) par.zero_coupling(id);
+  for (layout::CapId id : edit.shield_couplings) par.shield_coupling(id);
+  for (const session::WhatIfEdit::Resize& r : edit.resizes) {
+    nl.resize_gate(r.gate, r.cell_index);
+  }
+}
+
+}  // namespace
+
+Shard::Shard(std::string name, std::unique_ptr<net::Netlist> nl,
+             layout::Parasitics par, const sta::DelayModelOptions& model_opt,
+             const topk::TopkOptions& base_opt, const ShardOptions& opt)
+    : name_(std::move(name)),
+      model_opt_(model_opt),
+      base_opt_(base_opt),
+      opt_(opt),
+      base_nl_(std::move(nl)),
+      base_par_(std::make_unique<layout::Parasitics>(std::move(par))) {
+  const int n = opt_.workers < 1 ? 1 : opt_.workers;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Shard::~Shard() { join(); }
+
+bool Shard::submit(Request req, Respond respond) {
+  const std::int64_t now = obs::now_ns();
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!accepting_ || queue_.size() >= opt_.queue_cap) return false;
+    queue_.push_back(Job{std::move(req), std::move(respond), now});
+    depth = queue_.size();
+  }
+  obs::registry().gauge("server.queue_depth." + name_)
+      .set(static_cast<double>(depth));
+  queue_cv_.notify_one();
+  return true;
+}
+
+void Shard::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    accepting_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void Shard::join() {
+  begin_drain();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::uint64_t Shard::epoch() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return edit_log_.size();
+}
+
+std::size_t Shard::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+void Shard::worker_loop() {
+  Replica replica;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) return;  // draining and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      obs::registry().gauge("server.queue_depth." + name_)
+          .set(static_cast<double>(queue_.size()));
+    }
+    serve(replica, job);
+  }
+}
+
+void Shard::serve(Replica& replica, Job& job) {
+  const std::int64_t start = obs::now_ns();
+  obs::registry().histogram("server.queue_wait_s")
+      .observe(obs::ns_to_seconds(start - job.enqueued_ns));
+
+  std::string response;
+  std::uint64_t epoch = 0;
+  const bool is_what_if = job.req.op == "what_if";
+  try {
+    response = is_what_if ? serve_what_if(job.req, &epoch)
+                          : serve_topk(replica, job.req, &epoch);
+  } catch (const std::exception& e) {
+    response = make_error_response(job.req.id, ErrorCode::kInternal, e.what());
+  }
+
+  const bool ok = response.find("\"ok\": true") != std::string::npos;
+  obs::registry().counter(ok ? "server.responses_ok" : "server.responses_error")
+      .add();
+  obs::registry()
+      .histogram(is_what_if ? "server.latency.whatif_s"
+                            : "server.latency.topk_s")
+      .observe(obs::ns_to_seconds(obs::now_ns() - start));
+  job.respond(std::move(response));
+}
+
+void Shard::sync_replica(Replica& replica) {
+  if (replica.nl == nullptr) {
+    replica.nl = std::make_unique<net::Netlist>(*base_nl_);
+    replica.par = std::make_unique<layout::Parasitics>(*base_par_);
+    replica.applied_epoch = 0;
+  }
+  std::vector<session::WhatIfEdit> pending;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    pending.assign(edit_log_.begin() +
+                       static_cast<std::ptrdiff_t>(replica.applied_epoch),
+                   edit_log_.end());
+  }
+  for (const session::WhatIfEdit& edit : pending) {
+    apply_edit(*replica.nl, *replica.par, edit);
+  }
+  replica.applied_epoch += pending.size();
+  if (replica.session == nullptr || !pending.empty()) {
+    // The session's private copies are stale after an edit replay; rebuild
+    // it from the replica's design. One-shot sessions skip the candidate
+    // retention that only what_if needs.
+    replica.session = std::make_unique<session::AnalysisSession>(
+        *replica.nl, *replica.par, model_opt_,
+        session::SessionOptions{.retain_candidates = false});
+  }
+}
+
+std::string Shard::serve_topk(Replica& replica, const Request& req,
+                              std::uint64_t* epoch_out) {
+  sync_replica(replica);
+  *epoch_out = replica.applied_epoch;
+  topk::TopkOptions opt = base_opt_;
+  opt.k = req.k;
+  opt.mode = req.mode;
+  opt.threads = opt_.query_threads;
+  const topk::TopkResult result = replica.session->run(opt);
+  return make_ok_response(
+      req.id, *epoch_out,
+      "\"result\": " + render_topk_result(replica.session->netlist(),
+                                          replica.session->parasitics(),
+                                          result, req.k));
+}
+
+std::string Shard::serve_what_if(const Request& req,
+                                 std::uint64_t* epoch_out) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  std::string bad;
+  if (!validate_edit(req.edit, &bad)) {
+    *epoch_out = epoch();
+    return make_error_response(req.id, ErrorCode::kBadRequest, bad);
+  }
+  if (writer_ == nullptr || writer_k_ != req.k || writer_mode_ != req.mode) {
+    // (Re)base the warm writer on the committed state. Only the writer
+    // appends to the log and only under writer_mu_, so the replayed log is
+    // complete by construction.
+    net::Netlist nl(*base_nl_);
+    layout::Parasitics par(*base_par_);
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (const session::WhatIfEdit& edit : edit_log_) {
+        apply_edit(nl, par, edit);
+      }
+    }
+    writer_ = std::make_unique<session::AnalysisSession>(
+        std::move(nl), std::move(par), model_opt_,
+        session::SessionOptions{.retain_candidates = true});
+    topk::TopkOptions opt = base_opt_;
+    opt.k = req.k;
+    opt.mode = req.mode;
+    opt.threads = opt_.query_threads;
+    writer_->run(opt);  // priming query; what_if reuses these options
+    writer_k_ = req.k;
+    writer_mode_ = req.mode;
+  }
+  const topk::TopkResult result = writer_->what_if(req.edit);
+  std::uint64_t new_epoch = 0;
+  {
+    // Commit: the edit becomes visible to replicas only after the writer
+    // applied it successfully.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    edit_log_.push_back(req.edit);
+    new_epoch = edit_log_.size();
+  }
+  *epoch_out = new_epoch;
+  return make_ok_response(
+      req.id, new_epoch,
+      "\"result\": " + render_topk_result(writer_->netlist(),
+                                          writer_->parasitics(), result,
+                                          req.k));
+}
+
+bool Shard::validate_edit(const session::WhatIfEdit& edit,
+                          std::string* message) {
+  const std::size_t num_caps = base_par_->num_couplings();
+  const std::size_t num_gates = base_nl_->num_gates();
+  const std::size_t num_cells = base_nl_->library().size();
+  for (layout::CapId id : edit.zero_couplings) {
+    if (id >= num_caps) {
+      *message = str::format("zero: coupling id %u out of range (%zu caps)",
+                             static_cast<unsigned>(id), num_caps);
+      return false;
+    }
+  }
+  for (layout::CapId id : edit.shield_couplings) {
+    if (id >= num_caps) {
+      *message = str::format("shield: coupling id %u out of range (%zu caps)",
+                             static_cast<unsigned>(id), num_caps);
+      return false;
+    }
+  }
+  for (const session::WhatIfEdit::Resize& r : edit.resizes) {
+    if (r.gate >= num_gates) {
+      *message = str::format("resize: gate id %u out of range (%zu gates)",
+                             static_cast<unsigned>(r.gate), num_gates);
+      return false;
+    }
+    if (r.cell_index >= num_cells) {
+      *message = str::format("resize: cell index %zu out of range (%zu cells)",
+                             r.cell_index, num_cells);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tka::server

@@ -1,0 +1,132 @@
+// One design's serving state inside `tka serve`: a bounded query queue, a
+// small worker pool, and the epoch machinery that keeps concurrent queries
+// consistent with committed what-if edits (docs/SERVER.md).
+//
+// Consistency model. The design's committed state is (epoch-0 base design,
+// append-only edit log); epoch E means "the base with the first E edits
+// applied". Each worker owns a private replica of the design and, before
+// serving a query, catches it up to the newest committed epoch by replaying
+// the log suffix it has not yet applied — replicas therefore only ever
+// observe log prefixes, never a half-applied edit. what_if commits are
+// serialized on a single warm writer session (the incremental path); the
+// edit enters the log only after the writer has applied it successfully, so
+// a failed edit leaves the committed state untouched.
+//
+// Admission control. submit() enqueues or refuses: a full queue is the
+// typed `overloaded` error, cheap to produce and immediate, so a saturated
+// server sheds load at the door instead of growing an unbounded backlog.
+// Draining flips accepting_ off; queued work still completes, then workers
+// exit and join() returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "session/analysis_session.hpp"
+
+namespace tka::server {
+
+struct ShardOptions {
+  /// Worker threads serving queries for this design.
+  int workers = 1;
+  /// Bounded queue capacity; a submit() beyond it is refused (overloaded).
+  std::size_t queue_cap = 32;
+  /// TopkOptions::threads inside each served query (1 = serial query;
+  /// concurrency comes from workers and shards, not intra-query threads).
+  int query_threads = 1;
+};
+
+class Shard {
+ public:
+  /// Takes ownership of the design. `base_opt` is the options template for
+  /// every query (beam caps, tolerances...); requests override k and mode.
+  /// The cell library referenced by `nl` must outlive the shard.
+  Shard(std::string name, std::unique_ptr<net::Netlist> nl,
+        layout::Parasitics par, const sta::DelayModelOptions& model_opt,
+        const topk::TopkOptions& base_opt, const ShardOptions& opt);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Delivers the complete response payload (JSON text, unframed).
+  using Respond = std::function<void(std::string)>;
+
+  /// Enqueues a parsed topk/what_if request. Returns false when the queue
+  /// is full or the shard is draining — the caller renders the typed
+  /// rejection itself (it knows whether the server is draining).
+  bool submit(Request req, Respond respond);
+
+  /// Stops admission. Queued queries still run to completion.
+  void begin_drain();
+  /// Joins the workers after the queue runs dry. Implies begin_drain().
+  void join();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t epoch() const;
+  std::size_t queue_depth() const;
+
+ private:
+  struct Job {
+    Request req;
+    Respond respond;
+    std::int64_t enqueued_ns = 0;
+  };
+
+  /// A worker's private copy of the design, caught up to `applied_epoch`
+  /// entries of the edit log.
+  struct Replica {
+    std::unique_ptr<net::Netlist> nl;
+    std::unique_ptr<layout::Parasitics> par;
+    std::uint64_t applied_epoch = 0;
+    std::unique_ptr<session::AnalysisSession> session;
+  };
+
+  void worker_loop();
+  void serve(Replica& replica, Job& job);
+  std::string serve_topk(Replica& replica, const Request& req,
+                         std::uint64_t* epoch_out);
+  std::string serve_what_if(const Request& req, std::uint64_t* epoch_out);
+  /// Catches `replica` up to the newest committed epoch; recreates its
+  /// session when any edit was applied.
+  void sync_replica(Replica& replica);
+  /// Range-checks edit ids against the current design so a bad request
+  /// cannot trip an assertion inside the engine.
+  bool validate_edit(const session::WhatIfEdit& edit, std::string* message);
+
+  const std::string name_;
+  const sta::DelayModelOptions model_opt_;
+  const topk::TopkOptions base_opt_;
+  const ShardOptions opt_;
+
+  // Committed state: base design + edit log. state_mu_ guards the log
+  // vector (appends may reallocate); the epoch is also mirrored in an
+  // atomic-free way via log size under the lock.
+  std::unique_ptr<net::Netlist> base_nl_;
+  std::unique_ptr<layout::Parasitics> base_par_;
+  mutable std::mutex state_mu_;
+  std::vector<session::WhatIfEdit> edit_log_;
+
+  // The warm incremental writer; all what_if commits serialize on it.
+  std::mutex writer_mu_;
+  std::unique_ptr<session::AnalysisSession> writer_;
+  int writer_k_ = 0;
+  topk::Mode writer_mode_ = topk::Mode::kElimination;
+
+  // Bounded queue.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool accepting_ = true;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tka::server

@@ -1,0 +1,158 @@
+#include "server/socket_util.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/string_util.hpp"
+
+namespace tka::server {
+namespace {
+
+std::string errno_msg(const char* what) {
+  return str::format("%s: %s", what, std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_tcp(int port, int* bound_port, std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_msg("socket");
+    return {};
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_msg("bind");
+    return {};
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    *error = errno_msg("listen");
+    return {};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+      *error = errno_msg("getsockname");
+      return {};
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+Fd listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = str::format("unix socket path too long (%zu bytes, max %zu)",
+                         path.size(), sizeof(addr.sun_path) - 1);
+    return {};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_msg("socket");
+    return {};
+  }
+  ::unlink(path.c_str());  // drop a stale socket from a previous run
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = errno_msg("bind");
+    return {};
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    *error = errno_msg("listen");
+    return {};
+  }
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, int port, std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_msg("socket");
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = str::format("invalid IPv4 address '%s'", host.c_str());
+    return {};
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = errno_msg("connect");
+    return {};
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Fd connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = str::format("unix socket path too long (%zu bytes, max %zu)",
+                         path.size(), sizeof(addr.sun_path) - 1);
+    return {};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = errno_msg("socket");
+    return {};
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = errno_msg("connect");
+    return {};
+  }
+  return fd;
+}
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+long read_some(int fd, void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r < 0 && errno == EINTR) continue;
+    return static_cast<long>(r);
+  }
+}
+
+}  // namespace tka::server

@@ -1,0 +1,64 @@
+// Thin POSIX socket helpers shared by the server, the client library and
+// the load generator: listen/connect on TCP (IPv4 loopback by default) and
+// unix-domain sockets, plus EINTR-safe full reads/writes.
+//
+// Everything returns -1 / false with errno preserved on failure; callers
+// format their own error messages. No global state, no signals masked —
+// SIGPIPE is avoided per-call with MSG_NOSIGNAL.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tka::server {
+
+/// RAII file descriptor (close-on-destroy, movable).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int f = fd_;
+    fd_ = -1;
+    return f;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on 127.0.0.1:`port` (port 0 = ephemeral). On success returns the
+/// listening fd and stores the bound port in *bound_port.
+Fd listen_tcp(int port, int* bound_port, std::string* error);
+
+/// Listens on a unix-domain socket at `path` (any stale socket file is
+/// unlinked first).
+Fd listen_unix(const std::string& path, std::string* error);
+
+Fd connect_tcp(const std::string& host, int port, std::string* error);
+Fd connect_unix(const std::string& path, std::string* error);
+
+/// Writes all `n` bytes, retrying on EINTR/short writes. SIGPIPE-safe.
+bool write_all(int fd, const void* data, std::size_t n);
+
+/// Reads up to `n` bytes once (retrying EINTR). Returns bytes read, 0 at
+/// EOF, -1 on error.
+long read_some(int fd, void* buf, std::size_t n);
+
+}  // namespace tka::server

@@ -1,4 +1,4 @@
-#include "harness/bench_json.hpp"
+#include "util/json.hpp"
 
 #include <cstdlib>
 #include <fstream>
@@ -6,7 +6,7 @@
 
 #include "util/string_util.hpp"
 
-namespace tka::bench::json {
+namespace tka::util::json {
 namespace {
 
 constexpr int kMaxDepth = 64;
@@ -291,4 +291,4 @@ bool parse_file(const std::string& path, Value* out, std::string* error) {
   return parse(buf.str(), out, error);
 }
 
-}  // namespace tka::bench::json
+}  // namespace tka::util::json

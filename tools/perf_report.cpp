@@ -82,7 +82,11 @@ void report_bench(const std::string& path, double wait_threshold_pct) {
               doc.find("config") != nullptr
                   ? doc.find("config")->number_or("threads", 0.0)
                   : 0.0);
+  // Older BENCH files (earlier schema revisions of version 1) predate the
+  // memory, lanes and telemetry sections; each is reported when present and
+  // skipped — never an error — when absent.
   bool any_lanes = false;
+  bool any_memory = false;
   for (const Value& b : benchmarks->array) {
     const Value* name = b.find("name");
     const std::string label =
@@ -90,12 +94,23 @@ void report_bench(const std::string& path, double wait_threshold_pct) {
     const double median =
         b.find("time_s") != nullptr ? b.find("time_s")->number_or("median", 0.0)
                                     : 0.0;
-    const double peak =
-        b.find("memory") != nullptr
-            ? b.find("memory")->number_or("peak_rss_bytes", 0.0)
-            : 0.0;
-    std::printf("%-24s median %8.3fs  peak rss %7.1f MiB\n", label.c_str(),
-                median, mib(peak));
+    std::printf("%-24s median %8.3fs", label.c_str(), median);
+    const Value* memory = b.find("memory");
+    if (memory != nullptr && memory->is_object()) {
+      any_memory = true;
+      std::printf("  peak rss %7.1f MiB",
+                  mib(memory->number_or("peak_rss_bytes", 0.0)));
+    }
+    std::printf("\n");
+    const Value* telemetry = b.find("telemetry");
+    if (telemetry != nullptr && telemetry->is_object() &&
+        !telemetry->object.empty()) {
+      std::printf("    telemetry:");
+      for (const auto& [key, tv] : telemetry->object) {
+        if (tv.is_number()) std::printf(" %s=%.4g", key.c_str(), tv.number);
+      }
+      std::printf("\n");
+    }
     const Value* lanes = b.find("lanes");
     if (lanes == nullptr || !lanes->is_array() || lanes->array.empty()) {
       continue;
@@ -142,6 +157,10 @@ void report_bench(const std::string& path, double wait_threshold_pct) {
                     ? "  << FLAT SCALING: lanes mostly waiting, add cores or "
                       "drop threads"
                     : "");
+  }
+  if (!any_memory) {
+    std::printf("(no memory records — obs-disabled build or pre-telemetry "
+                "baseline)\n");
   }
   if (!any_lanes) {
     std::printf("(no lane records — obs-disabled build or pre-telemetry "

@@ -10,6 +10,10 @@
 //   tka glitch   <netlist> [--spef F]            functional-noise report
 //   tka paths    <netlist> [--spef F] [-n N]     worst timing paths
 //   tka convert  <netlist> --out F.v|F.bench|F.dot
+//   tka serve    [--port N] [--unix PATH] [--design NAME=FILE[,SPEF]]...
+//                [--workers N] [--queue-cap N] [--query-threads N]
+//                [--prom-out F]                long-lived analysis server
+//                                              (protocol: docs/SERVER.md)
 //
 // Flags shared by every command:
 //   --threads N           worker threads for analyze/topk (0 = auto: the
@@ -46,6 +50,8 @@
 #include "noise/iterative.hpp"
 #include "noise/violations.hpp"
 #include "obs/obs.hpp"
+#include "obs/signal_flush.hpp"
+#include "server/server.hpp"
 #include "session/analysis_session.hpp"
 #include "sta/path_enum.hpp"
 #include "topk/topk_engine.hpp"
@@ -70,6 +76,15 @@ struct Args {
   int threads = 0;  // --threads: 0 = auto (TKA_THREADS, then hw concurrency)
   double clock_ns = 0.0;  // 0 = unconstrained
   topk::Mode mode = topk::Mode::kElimination;
+
+  // serve
+  int serve_port = -1;               // --port (-1 = no TCP listener)
+  std::string serve_unix;            // --unix socket path
+  std::vector<std::string> designs;  // --design NAME=FILE[,SPEF]
+  int serve_workers = 1;             // --workers per design shard
+  int serve_queue_cap = 32;          // --queue-cap admission bound
+  int serve_query_threads = 1;       // --query-threads inside each query
+  std::string prom_out;              // --prom-out Prometheus text file
 };
 
 [[noreturn]] void usage() {
@@ -78,16 +93,25 @@ struct Args {
                "[--spef F] [--clock T] [-k N] [--mode add|elim] [-n N] "
                "[--threads N] [--out F] [--trace F.json] [--metrics F.json] "
                "[--metrics-out F.jsonl] [--metrics-interval MS] "
-               "[--log-level debug|info|warn|error|off]\n");
+               "[--log-level debug|info|warn|error|off]\n"
+               "       tka serve [--port N] [--unix PATH] "
+               "[--design NAME=FILE[,SPEF]]... [--workers N] [--queue-cap N] "
+               "[--query-threads N] [--prom-out F] [common flags]\n");
   std::exit(2);
 }
 
 Args parse_args(int argc, char** argv) {
   Args args;
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   args.command = argv[1];
-  args.netlist_path = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  int first_flag = 2;
+  if (args.command != "serve") {
+    // Every other command takes the netlist as its positional argument.
+    if (argc < 3) usage();
+    args.netlist_path = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage();
@@ -128,6 +152,24 @@ Args parse_args(int argc, char** argv) {
       } else {
         usage();
       }
+    } else if (a == "--port") {
+      args.serve_port = std::atoi(next().c_str());
+      if (args.serve_port < 0 || args.serve_port > 65535) usage();
+    } else if (a == "--unix") {
+      args.serve_unix = next();
+    } else if (a == "--design") {
+      args.designs.push_back(next());
+    } else if (a == "--workers") {
+      args.serve_workers = std::atoi(next().c_str());
+      if (args.serve_workers < 1) usage();
+    } else if (a == "--queue-cap") {
+      args.serve_queue_cap = std::atoi(next().c_str());
+      if (args.serve_queue_cap < 1) usage();
+    } else if (a == "--query-threads") {
+      args.serve_query_threads = std::atoi(next().c_str());
+      if (args.serve_query_threads < 1) usage();
+    } else if (a == "--prom-out") {
+      args.prom_out = next();
     } else {
       usage();
     }
@@ -319,6 +361,76 @@ int cmd_convert(const Args& args) {
   return 0;
 }
 
+// Analysis-as-a-service (docs/SERVER.md): load designs once, serve
+// concurrent topk/what_if queries over TCP and/or a unix socket until
+// SIGTERM/SIGINT triggers a graceful drain. With neither --port nor --unix,
+// listens on an ephemeral TCP port (printed on the "listening" line so
+// scripts can pick it up).
+int cmd_serve(const Args& args) {
+  obs::register_core_metrics();
+  server::ServerOptions sopt;
+  sopt.tcp_port = args.serve_port;
+  sopt.unix_path = args.serve_unix;
+  if (sopt.tcp_port < 0 && sopt.unix_path.empty()) sopt.tcp_port = 0;
+  sopt.default_shard.workers = args.serve_workers;
+  sopt.default_shard.queue_cap =
+      static_cast<std::size_t>(args.serve_queue_cap);
+  sopt.default_shard.query_threads = args.serve_query_threads;
+  server::Server srv(sopt);
+
+  for (const std::string& spec : args.designs) {
+    const std::size_t eq = spec.find('=');
+    TKA_CHECK(eq != std::string::npos && eq > 0,
+              "serve: --design expects NAME=FILE[,SPEF]");
+    const std::string name = spec.substr(0, eq);
+    std::string file = spec.substr(eq + 1);
+    std::string spef;
+    if (const std::size_t comma = file.find(','); comma != std::string::npos) {
+      spef = file.substr(comma + 1);
+      file = file.substr(0, comma);
+    }
+    std::string error;
+    if (!srv.load_design(name, file, spef, &error)) {
+      throw Error("serve: cannot load '" + name + "': " + error);
+    }
+    std::printf("loaded design '%s' from %s\n", name.c_str(), file.c_str());
+  }
+
+  std::string error;
+  if (!srv.start(&error)) throw Error("serve: " + error);
+  if (srv.tcp_port() >= 0) {
+    std::printf("listening on 127.0.0.1:%d\n", srv.tcp_port());
+  }
+  if (!args.serve_unix.empty()) {
+    std::printf("listening on unix:%s\n", args.serve_unix.c_str());
+  }
+  std::printf("ready\n");
+  std::fflush(stdout);
+
+  // First signal: graceful drain (in-flight queries finish and respond).
+  // Second signal: the default flush-and-exit path, which still writes the
+  // --prom-out dump via the hook below.
+  if (!args.prom_out.empty()) {
+    obs::add_flush_hook([path = args.prom_out] {
+      std::ofstream out(path);
+      if (out) obs::write_prometheus_text(out);
+    });
+  }
+  obs::install_signal_flush();
+  obs::set_graceful_delegate([&srv](int) { srv.request_shutdown(); });
+  srv.wait();
+  obs::set_graceful_delegate({});
+
+  if (!args.prom_out.empty()) {
+    std::ofstream out(args.prom_out);
+    TKA_CHECK(static_cast<bool>(out), "serve: cannot open --prom-out file");
+    obs::write_prometheus_text(out);
+    std::printf("wrote %s\n", args.prom_out.c_str());
+  }
+  std::printf("drained\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -339,6 +451,26 @@ int main(int argc, char** argv) {
       // footprint, not just the counters.
       rss = std::make_unique<obs::RssSampler>(args.metrics_interval_ms);
     }
+    // An interrupted run still flushes its observability artifacts: the
+    // JSONL sink's final record, the trace and the metrics dump (all
+    // idempotent, so a clean exit path re-running them is harmless).
+    if (sink != nullptr || !args.trace_path.empty() ||
+        !args.metrics_path.empty()) {
+      obs::install_signal_flush();
+      obs::add_flush_hook([&args, &sink, &rss] {
+        if (rss) rss->stop();
+        if (sink) sink->stop();
+        if (!args.trace_path.empty()) {
+          std::ofstream out(args.trace_path);
+          if (out) obs::tracer().write_chrome_json(out);
+        }
+        if (!args.metrics_path.empty()) {
+          obs::run_collectors();
+          std::ofstream out(args.metrics_path);
+          if (out) obs::write_metrics_json(out);
+        }
+      });
+    }
     int rc = -1;
     if (args.command == "analyze") rc = cmd_analyze(args);
     else if (args.command == "topk") rc = cmd_topk(args);
@@ -346,6 +478,7 @@ int main(int argc, char** argv) {
     else if (args.command == "glitch") rc = cmd_glitch(args);
     else if (args.command == "paths") rc = cmd_paths(args);
     else if (args.command == "convert") rc = cmd_convert(args);
+    else if (args.command == "serve") rc = cmd_serve(args);
     else usage();
     if (!args.trace_path.empty()) {
       std::ofstream out(args.trace_path);

@@ -1,0 +1,283 @@
+// tka_load — load generator for a running `tka serve` daemon
+// (docs/SERVER.md).
+//
+//   tka_load (--port N [--host H] | --unix PATH) [--design NAME]
+//            [--clients N] [--duration S | --requests N] [--rate QPS]
+//            [-k N] [--mode add|elim] [--whatif-every N] [--whatif-caps N]
+//            [--out F.json] [--quiet]
+//
+// Two driving disciplines:
+//   - Closed loop (default): each client connection issues back-to-back
+//     queries; offered load tracks service capacity. Measures the server's
+//     sustainable throughput and per-query service latency.
+//   - Open loop (--rate QPS > 0): requests fire on a fixed global schedule
+//     regardless of completions, spread round-robin over the client
+//     connections. Latency is measured from the *scheduled* send time, so
+//     queueing delay under overload is charged to the server rather than
+//     silently absorbed (no coordinated omission).
+//
+// Every Nth request (--whatif-every) is a what_if commit (a shield edit on
+// a rotating coupling id) instead of a read-only topk, exercising the
+// epoch/commit path under concurrency. Default 0 = topk only.
+//
+// Output: human summary on stdout plus an optional machine JSON (--out)
+// with qps, latency percentiles and per-error-code counts. Exits nonzero
+// on any transport failure or when zero requests completed.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "server/client.hpp"
+#include "util/json.hpp"
+#include "util/string_util.hpp"
+
+using namespace tka;
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string unix_path;
+  std::string design;
+  int clients = 4;
+  double duration_s = 10.0;
+  long requests = 0;  // total request budget (0 = duration-driven)
+  double rate = 0.0;  // open-loop arrival rate in qps (0 = closed loop)
+  int k = 5;
+  std::string mode = "elim";
+  long whatif_every = 0;
+  int whatif_caps = 8;
+  std::string out_path;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tka_load (--port N [--host H] | --unix PATH) [--design NAME] "
+      "[--clients N] [--duration S | --requests N] [--rate QPS] [-k N] "
+      "[--mode add|elim] [--whatif-every N] [--whatif-caps N] [--out F.json] "
+      "[--quiet]\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--host") args.host = next();
+    else if (a == "--port") args.port = std::atoi(next().c_str());
+    else if (a == "--unix") args.unix_path = next();
+    else if (a == "--design") args.design = next();
+    else if (a == "--clients") args.clients = std::atoi(next().c_str());
+    else if (a == "--duration") args.duration_s = std::atof(next().c_str());
+    else if (a == "--requests") args.requests = std::atol(next().c_str());
+    else if (a == "--rate") args.rate = std::atof(next().c_str());
+    else if (a == "-k") args.k = std::atoi(next().c_str());
+    else if (a == "--mode") args.mode = next();
+    else if (a == "--whatif-every") args.whatif_every = std::atol(next().c_str());
+    else if (a == "--whatif-caps") args.whatif_caps = std::atoi(next().c_str());
+    else if (a == "--out") args.out_path = next();
+    else if (a == "--quiet") args.quiet = true;
+    else usage();
+  }
+  if ((args.port < 0) == args.unix_path.empty()) usage();  // exactly one
+  if (args.clients < 1 || args.k < 1 || args.whatif_caps < 1) usage();
+  if (args.mode != "add" && args.mode != "elim") usage();
+  return args;
+}
+
+std::string make_query(const Args& args, long seq) {
+  std::string req = str::format("{\"id\": %ld, \"op\": ", seq);
+  const bool whatif =
+      args.whatif_every > 0 && seq % args.whatif_every == args.whatif_every - 1;
+  if (whatif) {
+    req += str::format("\"what_if\", \"shield\": [%ld]",
+                       seq % args.whatif_caps);
+  } else {
+    req += "\"topk\"";
+  }
+  req += str::format(", \"k\": %d, \"mode\": \"%s\"", args.k,
+                     args.mode.c_str());
+  if (!args.design.empty()) {
+    req += str::format(", \"design\": \"%s\"", args.design.c_str());
+  }
+  req += "}";
+  return req;
+}
+
+struct WorkerStats {
+  std::vector<double> latencies_s;
+  long ok = 0;
+  std::map<std::string, long> errors;  // protocol error code -> count
+  long transport_failures = 0;
+};
+
+/// Error code of a response payload ("" when ok). Malformed payloads count
+/// as protocol errors too.
+std::string response_error_code(const std::string& payload) {
+  util::json::Value doc;
+  std::string err;
+  if (!util::json::parse(payload, &doc, &err)) return "unparseable_response";
+  const util::json::Value* ok = doc.find("ok");
+  if (ok == nullptr || !ok->is_bool()) return "unparseable_response";
+  if (ok->boolean) return "";
+  if (const util::json::Value* e = doc.find("error")) {
+    if (const util::json::Value* code = e->find("code");
+        code != nullptr && code->is_string()) {
+      return code->string;
+    }
+  }
+  return "unknown_error";
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  // Connect every client up front so a bad address fails fast and the
+  // measured window contains no handshakes.
+  std::vector<server::Client> clients(static_cast<std::size_t>(args.clients));
+  for (auto& c : clients) {
+    std::string error;
+    const bool ok = args.unix_path.empty()
+                        ? c.connect_tcp(args.host, args.port, &error)
+                        : c.connect_unix(args.unix_path, &error);
+    if (!ok) {
+      std::fprintf(stderr, "tka_load: connect: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  const std::int64_t t0 = obs::now_ns();
+  const std::int64_t deadline =
+      t0 + static_cast<std::int64_t>(args.duration_s * 1e9);
+  std::atomic<long> ticket{0};
+  const long budget = args.requests > 0 ? args.requests
+                                        : std::numeric_limits<long>::max();
+
+  std::vector<WorkerStats> stats(static_cast<std::size_t>(args.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(args.clients));
+  for (int w = 0; w < args.clients; ++w) {
+    threads.emplace_back([&, w] {
+      server::Client& client = clients[static_cast<std::size_t>(w)];
+      WorkerStats& st = stats[static_cast<std::size_t>(w)];
+      while (true) {
+        const long seq = ticket.fetch_add(1, std::memory_order_relaxed);
+        if (seq >= budget) return;
+        std::int64_t scheduled = obs::now_ns();
+        if (args.rate > 0.0) {
+          // Open loop: request `seq` fires at t0 + seq/rate, come what may.
+          scheduled = t0 + static_cast<std::int64_t>(
+                               static_cast<double>(seq) / args.rate * 1e9);
+          if (scheduled >= deadline) return;
+          while (obs::now_ns() < scheduled) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        } else if (scheduled >= deadline) {
+          return;
+        }
+        const std::string req = make_query(args, seq);
+        std::string resp, error;
+        if (!client.call(req, &resp, &error)) {
+          ++st.transport_failures;
+          return;  // this connection is dead; let the others finish
+        }
+        st.latencies_s.push_back(
+            obs::ns_to_seconds(obs::now_ns() - scheduled));
+        const std::string code = response_error_code(resp);
+        if (code.empty()) ++st.ok;
+        else ++st.errors[code];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s = obs::ns_to_seconds(obs::now_ns() - t0);
+
+  // Merge.
+  std::vector<double> lat;
+  long ok = 0, transport = 0;
+  std::map<std::string, long> errors;
+  for (const WorkerStats& st : stats) {
+    lat.insert(lat.end(), st.latencies_s.begin(), st.latencies_s.end());
+    ok += st.ok;
+    transport += st.transport_failures;
+    for (const auto& [code, n] : st.errors) errors[code] += n;
+  }
+  std::sort(lat.begin(), lat.end());
+  const long completed = static_cast<long>(lat.size());
+  const double qps =
+      elapsed_s > 0.0 ? static_cast<double>(completed) / elapsed_s : 0.0;
+  const double p50 = percentile(lat, 0.50);
+  const double p90 = percentile(lat, 0.90);
+  const double p99 = percentile(lat, 0.99);
+  const double max = lat.empty() ? 0.0 : lat.back();
+
+  if (!args.quiet) {
+    std::printf("clients %d  %s  elapsed %.2fs\n", args.clients,
+                args.rate > 0.0
+                    ? str::format("open-loop %.1f qps offered", args.rate).c_str()
+                    : "closed-loop",
+                elapsed_s);
+    std::printf("completed %ld (ok %ld, rejected %ld, transport failures %ld)\n",
+                completed, ok, completed - ok, transport);
+    std::printf("throughput %.2f qps\n", qps);
+    std::printf("latency p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms\n",
+                p50 * 1e3, p90 * 1e3, p99 * 1e3, max * 1e3);
+    for (const auto& [code, n] : errors) {
+      std::printf("  error %-16s %ld\n", code.c_str(), n);
+    }
+  }
+
+  if (!args.out_path.empty()) {
+    std::ofstream out(args.out_path);
+    if (!out) {
+      std::fprintf(stderr, "tka_load: cannot open %s\n",
+                   args.out_path.c_str());
+      return 1;
+    }
+    out << str::format(
+        "{\"clients\": %d, \"rate_qps\": %.17g, \"elapsed_s\": %.17g, "
+        "\"completed\": %ld, \"ok\": %ld, \"transport_failures\": %ld, "
+        "\"qps\": %.17g, \"latency_s\": {\"p50\": %.17g, \"p90\": %.17g, "
+        "\"p99\": %.17g, \"max\": %.17g}, \"errors\": {",
+        args.clients, args.rate, elapsed_s, completed, ok, transport, qps,
+        p50, p90, p99, max);
+    bool first = true;
+    for (const auto& [code, n] : errors) {
+      out << str::format("%s\"%s\": %ld", first ? "" : ", ", code.c_str(), n);
+      first = false;
+    }
+    out << "}}\n";
+    std::printf("wrote %s\n", args.out_path.c_str());
+  }
+  return (transport > 0 || completed == 0) ? 1 : 0;
+}
