@@ -283,6 +283,7 @@ bool Harness::run_case(const std::string& name,
       u.wall_s = obs::ns_to_seconds(static_cast<std::int64_t>(l.wall_ns));
       u.utilization = u.wall_s > 0.0 ? u.exec_s / u.wall_s : 0.0;
       u.tasks = l.tasks;
+      u.steals = l.steals;
       result.lanes.push_back(u);
     }
   }
@@ -353,7 +354,8 @@ std::string render_bench_json(const HarnessConfig& config,
           << ", \"barrier_wait_s\": " << num(l.barrier_wait_s)
           << ", \"wall_s\": " << num(l.wall_s)
           << ", \"utilization\": " << num(l.utilization)
-          << ", \"tasks\": " << l.tasks << "}";
+          << ", \"tasks\": " << l.tasks << ", \"steals\": " << l.steals
+          << "}";
       first = false;
     }
     out << "]\n    }";

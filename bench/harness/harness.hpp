@@ -112,6 +112,10 @@ struct LaneUsage {
   double wall_s = 0.0;
   double utilization = 0.0;
   std::uint64_t tasks = 0;
+  /// Task-graph tasks this lane stole from another lane's deque. Zero on
+  /// static parallel_for work; informational (never gated — steal counts
+  /// depend on thread count and timing).
+  std::uint64_t steals = 0;
 };
 
 /// One case's outcome: timing summary over the reps, reported values, the

@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/task_graph.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -52,10 +53,14 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
   std::vector<double> bump(nl.num_nets(), 0.0);
   if (opt.pessimistic_start) {
     EnvelopeBuilder builder(nl, par, calc, base.windows);
-    runtime::parallel_for(opt.threads, 0, nl.num_nets(), [&](std::size_t v) {
-      bump[v] = analyzer.delay_noise_upper_bound(v, builder,
-                                                 mask);
-    });
+    // Work-stealing chunks: upper-bound costs vary wildly per victim
+    // (coupling counts differ by orders of magnitude), which static chunks
+    // serialize on the unluckiest lane. Per-index slots + no reduction, so
+    // the dynamic schedule cannot change the result.
+    runtime::parallel_for_dynamic(
+        opt.threads, 0, nl.num_nets(), [&](std::size_t v) {
+          bump[v] = analyzer.delay_noise_upper_bound(v, builder, mask);
+        });
   }
 
   sta::StaResult current = base;
@@ -76,13 +81,14 @@ NoiseReport analyze_iterative(const net::Netlist& nl, const layout::Parasitics& 
     // The relaxation sweep: every victim's new bump depends only on the
     // frozen `current` windows and `bump` of this iteration, so victims
     // are embarrassingly parallel; each writes its own slot.
-    runtime::parallel_for(opt.threads, 0, nl.num_nets(), [&](std::size_t v) {
-      // Anchor each victim at its upstream-noisy arrival *excluding its own
-      // bump*: a net cannot dodge its own delay noise, and letting it do so
-      // creates limit cycles on strongly coupled designs.
-      const double t50 = current.windows[v].lat - bump[v];
-      next[v] = analyzer.victim_delay_noise_at(v, builder, mask, t50);
-    });
+    runtime::parallel_for_dynamic(
+        opt.threads, 0, nl.num_nets(), [&](std::size_t v) {
+          // Anchor each victim at its upstream-noisy arrival *excluding its
+          // own bump*: a net cannot dodge its own delay noise, and letting
+          // it do so creates limit cycles on strongly coupled designs.
+          const double t50 = current.windows[v].lat - bump[v];
+          next[v] = analyzer.victim_delay_noise_at(v, builder, mask, t50);
+        });
     // Convergence reduction on the calling thread, in index order.
     double max_change = 0.0;
     for (net::NetId v = 0; v < nl.num_nets(); ++v) {

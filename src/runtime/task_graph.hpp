@@ -1,0 +1,138 @@
+// Dependency-counted task graph with work-stealing execution.
+//
+// The level-wavefront scheduler (wavefront.hpp) barrier-syncs every level:
+// all victims of level L must finish before any victim of level L+1 starts,
+// even though a level-L+1 victim only reads its own fanin cone. This module
+// replaces the barrier with per-task dependency counters over the same DAG:
+// a task becomes ready the moment its last predecessor finishes, so
+// independent subtrees overlap across levels instead of idling at the
+// barrier (ROADMAP: "Fix parallel scaling with a task-graph / work-stealing
+// runtime"; see docs/SCHEDULER.md for the model and the determinism
+// contract).
+//
+// Execution model:
+//  * Each lane (the calling thread plus `threads - 1` shared-pool workers)
+//    owns a deque: ready tasks are pushed to the owner's bottom and popped
+//    LIFO; thieves take from the top, FIFO, scanning victims from a
+//    per-lane randomized starting point. Deques are mutex-protected (the
+//    tasks here are coarse — whole per-victim candidate builds — so the
+//    lock is nanoseconds against the task body, and the simple structure
+//    is trivially TSan-clean).
+//  * Determinism: the schedule is nondeterministic, the results are not.
+//    Task bodies write only per-task result slots; reductions happen on
+//    the calling thread after run() returns, in task-index order. Under
+//    that discipline any topological execution order yields bit-identical
+//    output, so serial (threads = 1) and stolen (threads = N) runs agree
+//    exactly — the same contract parallel_for's static chunks enforce,
+//    minus the static schedule.
+//  * Exceptions: a throwing task marks its transitive dependents cancelled
+//    (they never execute); independent tasks still run. After the drain the
+//    lowest-index failure is rethrown on the calling thread. The failed set
+//    is execution-order independent, so this too is deterministic.
+//  * Serial fallback: threads <= 1, a single task, or a call from inside a
+//    pool worker runs every task inline on the calling thread in
+//    deterministic Kahn order (ready set drained as an index-seeded FIFO) —
+//    the same code path discipline as ThreadPool::parallel_for, and
+//    deadlock-free under nesting by construction.
+//
+// Telemetry: task bodies book Phase::kExec on the executing lane; the
+// steal/park loop books kQueueIdle (workers) or kBarrierWait (the caller).
+// Successful steals increment the lane's `steals` counter and surface as
+// the runtime.steals / runtime.lane.<i>.steals and runtime.task_graph.*
+// gauges — gauges, never BENCH counters, because steal counts depend on
+// thread count and timing (docs/BENCHMARKING.md).
+#pragma once
+
+#include <cstddef>
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tka::runtime {
+
+class TaskGraph {
+ public:
+  /// A graph over tasks 0 .. num_tasks-1 with no edges yet.
+  explicit TaskGraph(std::size_t num_tasks) : num_tasks_(num_tasks) {}
+
+  std::size_t size() const { return num_tasks_; }
+
+  /// Declares that `from` must complete before `to` may start. Duplicate
+  /// edges are tolerated (deduplicated when the graph seals on run), so
+  /// callers deriving edges from overlapping sources — e.g. a fanin that is
+  /// also a coupled partner — need not dedupe themselves. Self-edges and
+  /// out-of-range indices are ignored.
+  void add_edge(std::size_t from, std::size_t to) {
+    if (from == to || from >= num_tasks_ || to >= num_tasks_) return;
+    edges_.emplace_back(from, to);
+    sealed_ = false;
+  }
+
+  /// Runs body(t) for every task t, respecting edges, on `threads` resolved
+  /// lanes (the caller plus shared-pool workers). Blocks until every task
+  /// has executed or been cancelled by a failed predecessor; rethrows the
+  /// lowest-index failure. Cycles are a caller bug, detected when the graph
+  /// seals (one Kahn pass): run() throws std::logic_error before executing
+  /// anything. Reentrant-safe: a run issued from inside a pool worker
+  /// executes inline.
+  void run(int threads, std::function<void(std::size_t)> body);
+
+  /// Total dependency edges after deduplication (seals the graph).
+  std::size_t num_edges();
+
+ private:
+  void seal();
+  void run_serial(const std::function<void(std::size_t)>& body);
+
+  std::size_t num_tasks_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+  // CSR successors + per-task predecessor counts, built by seal().
+  std::vector<std::size_t> succ_off_;
+  std::vector<std::size_t> succ_;
+  std::vector<std::size_t> preds_;
+  bool sealed_ = false;
+  bool cyclic_ = false;
+};
+
+/// Work-stealing counterpart of runtime::parallel_for: runs fn(i) over
+/// [begin, end) as an edge-free task graph of contiguous chunks of `grain`
+/// indices (0 picks a grain targeting ~8 chunks per lane; the TKA_TASK_GRAIN
+/// environment variable overrides either choice, which is how the stress
+/// tests force steals on tiny ranges). Same determinism contract as
+/// parallel_for — per-index slots plus calling-thread index-order reduction
+/// — and the same inline serial fallback; chunk-to-lane assignment is the
+/// only thing stealing changes. Rethrows the lowest failing chunk.
+template <typename Fn>
+void parallel_for_dynamic(int requested, std::size_t begin, std::size_t end,
+                          Fn&& fn, std::size_t grain = 0);
+
+namespace detail {
+
+int dynamic_threads(int requested);  // resolved count, 1 when must run inline
+std::size_t dynamic_grain(std::size_t n, int threads, std::size_t grain);
+void run_dynamic(int threads, std::size_t begin, std::size_t end,
+                 std::size_t grain,
+                 const std::function<void(std::size_t)>& fn);
+void run_inline_accounted(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace detail
+
+template <typename Fn>
+void parallel_for_dynamic(int requested, std::size_t begin, std::size_t end,
+                          Fn&& fn, std::size_t grain) {
+  if (begin >= end) return;
+  const int threads = detail::dynamic_threads(requested);
+  const std::size_t n = end - begin;
+  const std::size_t g = detail::dynamic_grain(n, threads, grain);
+  if (threads <= 1 || n <= g) {
+    detail::run_inline_accounted(begin, end,
+                                 std::function<void(std::size_t)>(fn));
+    return;
+  }
+  detail::run_dynamic(threads, begin, end, g,
+                      std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+}
+
+}  // namespace tka::runtime

@@ -16,6 +16,7 @@ std::vector<LaneCounters> lane_delta(const std::vector<LaneCounters>& before,
       d.queue_idle_ns = sub(d.queue_idle_ns, b.queue_idle_ns);
       d.barrier_wait_ns = sub(d.barrier_wait_ns, b.barrier_wait_ns);
       d.tasks = sub(d.tasks, b.tasks);
+      d.steals = sub(d.steals, b.steals);
       d.wall_ns = sub(d.wall_ns, b.wall_ns);
     }
     delta.push_back(d);
@@ -48,6 +49,10 @@ std::vector<std::unique_ptr<telemetry::LaneSlot>>& lanes() {
 
 std::atomic<std::uint64_t> g_parallel_fors{0};
 std::atomic<std::uint64_t> g_inline_fors{0};
+std::atomic<std::uint64_t> g_task_graphs{0};
+std::atomic<std::uint64_t> g_task_graph_tasks{0};
+std::atomic<std::uint64_t> g_task_graph_edges{0};
+std::atomic<std::uint64_t> g_dynamic_fors{0};
 
 }  // namespace
 
@@ -78,6 +83,16 @@ void note_inline_for() {
   g_inline_fors.fetch_add(1, std::memory_order_relaxed);
 }
 
+void note_task_graph(std::uint64_t tasks, std::uint64_t edges) {
+  g_task_graphs.fetch_add(1, std::memory_order_relaxed);
+  g_task_graph_tasks.fetch_add(tasks, std::memory_order_relaxed);
+  g_task_graph_edges.fetch_add(edges, std::memory_order_relaxed);
+}
+
+void note_dynamic_for() {
+  g_dynamic_fors.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace telemetry
 
 std::vector<LaneCounters> lane_snapshot() {
@@ -92,6 +107,7 @@ std::vector<LaneCounters> lane_snapshot() {
     c.queue_idle_ns = slot->queue_idle_ns.load(std::memory_order_relaxed);
     c.barrier_wait_ns = slot->barrier_wait_ns.load(std::memory_order_relaxed);
     c.tasks = slot->tasks.load(std::memory_order_relaxed);
+    c.steals = slot->steals.load(std::memory_order_relaxed);
     c.worker = slot->worker;
     c.wall_ns = now > slot->registered_ns
                     ? static_cast<std::uint64_t>(now - slot->registered_ns)
@@ -129,6 +145,7 @@ void publish_runtime_metrics() {
   obs::MetricsRegistry& reg = obs::registry();
   double exec_s = 0.0, cpu_s = 0.0, idle_s = 0.0, barrier_s = 0.0;
   std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;
   std::size_t workers = 0;
   for (std::size_t i = 0; i < snap.size(); ++i) {
     const LaneCounters& l = snap[i];
@@ -146,6 +163,7 @@ void publish_runtime_metrics() {
     idle_s += qi;
     barrier_s += bw;
     tasks += l.tasks;
+    steals += l.steals;
     if (l.worker) ++workers;
     const std::string prefix = str::format("runtime.lane.%zu.", i);
     reg.gauge(prefix + "exec_s").set(e);
@@ -154,6 +172,7 @@ void publish_runtime_metrics() {
     reg.gauge(prefix + "barrier_wait_s").set(bw);
     reg.gauge(prefix + "wall_s").set(wall);
     reg.gauge(prefix + "tasks").set(static_cast<double>(l.tasks));
+    reg.gauge(prefix + "steals").set(static_cast<double>(l.steals));
     reg.gauge(prefix + "worker").set(l.worker ? 1.0 : 0.0);
     reg.gauge(prefix + "utilization").set(wall > 0.0 ? e / wall : 0.0);
   }
@@ -164,6 +183,17 @@ void publish_runtime_metrics() {
   reg.gauge("runtime.queue_idle_s").set(idle_s);
   reg.gauge("runtime.barrier_wait_s").set(barrier_s);
   reg.gauge("runtime.tasks").set(static_cast<double>(tasks));
+  reg.gauge("runtime.steals").set(static_cast<double>(steals));
+  reg.gauge("runtime.task_graph.graphs")
+      .set(static_cast<double>(g_task_graphs.load(std::memory_order_relaxed)));
+  reg.gauge("runtime.task_graph.tasks")
+      .set(static_cast<double>(
+          g_task_graph_tasks.load(std::memory_order_relaxed)));
+  reg.gauge("runtime.task_graph.edges")
+      .set(static_cast<double>(
+          g_task_graph_edges.load(std::memory_order_relaxed)));
+  reg.gauge("runtime.task_graph.dynamic_fors")
+      .set(static_cast<double>(g_dynamic_fors.load(std::memory_order_relaxed)));
   reg.gauge("runtime.parallel_fors")
       .set(static_cast<double>(g_parallel_fors.load(std::memory_order_relaxed)));
   reg.gauge("runtime.inline_fors")

@@ -43,6 +43,11 @@ struct LaneCounters {
   std::uint64_t queue_idle_ns = 0;
   std::uint64_t barrier_wait_ns = 0;
   std::uint64_t tasks = 0;
+  /// Task-graph tasks this lane executed that another lane made ready
+  /// (popped from a victim's deque, not the lane's own). Zero for static
+  /// parallel_for work. Thread-count and timing dependent by nature, so it
+  /// surfaces only as gauges/lane fields, never BENCH counters.
+  std::uint64_t steals = 0;
   std::uint64_t wall_ns = 0;
   bool worker = false;
 };
@@ -83,6 +88,7 @@ struct LaneSlot {
   std::atomic<std::uint64_t> queue_idle_ns{0};
   std::atomic<std::uint64_t> barrier_wait_ns{0};
   std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> steals{0};
   std::atomic<int> phase{0};
   std::atomic<std::int64_t> phase_start_ns{0};
   // Owner-thread-only: the thread CPU clock at the last phase switch.
@@ -170,6 +176,13 @@ class PhaseScope {
 /// the runtime.parallel_fors / runtime.inline_fors gauges).
 void note_parallel_for();
 void note_inline_for();
+
+/// Tally one task-graph run (fanned out or inline) with its task and
+/// deduplicated edge counts; published as runtime.task_graph.{graphs,
+/// tasks, edges} gauges. parallel_for_dynamic fan-outs additionally count
+/// into runtime.task_graph.dynamic_fors.
+void note_task_graph(std::uint64_t tasks, std::uint64_t edges);
+void note_dynamic_for();
 
 }  // namespace telemetry
 

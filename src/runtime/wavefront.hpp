@@ -34,6 +34,11 @@ class Wavefront {
   /// Logic level of `n` (primary inputs are level 0).
   int level_of(net::NetId n) const { return level_of_[n]; }
 
+  /// The whole net -> level map (indexed by net id). The task-graph sweep
+  /// hands this to QueryContext::ho_of, which picks the current- or
+  /// previous-sweep snapshot buffer by comparing levels.
+  std::span<const int> level_map() const { return level_of_; }
+
   /// Total nets across all levels (== netlist net count).
   std::size_t num_nets() const { return level_of_.size(); }
 

@@ -22,6 +22,39 @@ using topk::stages::EvaluateStage;
 using topk::stages::PruneStage;
 using topk::stages::QueryContext;
 
+namespace {
+
+// The cold-sweep dependency graph: one task per net (task index == net id),
+// with an edge u -> v for every intra-sweep read v makes of u's
+// current-sweep state. That is (a) v's driver-gate fanins — pseudo
+// propagation reads their reduced lists via sets_of — and (b) in
+// elimination mode, coupled partners at a strictly lower level, whose
+// published winner the higher-order atoms read through ho_of (same- or
+// higher-level partners read the immutable previous-sweep buffer instead,
+// so they need no edge). Duplicates (a fanin that is also a partner)
+// are deduplicated by the graph itself.
+std::unique_ptr<runtime::TaskGraph> build_sweep_graph(
+    const net::Netlist& nl, const layout::Parasitics& par,
+    const topk::stages::BaselineState& base, bool addition,
+    const runtime::Wavefront& wf) {
+  auto graph = std::make_unique<runtime::TaskGraph>(nl.num_nets());
+  for (net::NetId v = 0; v < nl.num_nets(); ++v) {
+    const net::Net& n = nl.net(v);
+    if (n.driver != net::kInvalidGate) {
+      for (net::NetId u : nl.gate(n.driver).inputs) graph->add_edge(u, v);
+    }
+    if (!addition) {
+      for (layout::CapId cap : base.active_caps[v]) {
+        const net::NetId a = par.coupling(cap).other(v);
+        if (wf.level_of(a) < wf.level_of(v)) graph->add_edge(a, v);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
 AnalysisSession::AnalysisSession(const net::Netlist& nl,
                                  const layout::Parasitics& par,
                                  const sta::DelayModel& model,
@@ -205,6 +238,7 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
   obs::Counter& c_beam = reg.counter("topk.beam_capped");
   obs::Counter& c_gen_cap = reg.counter("topk.generation_capped");
   obs::Counter& c_surviving = reg.counter("topk.surviving_sets");
+  obs::Counter& c_sweep_graphs = reg.counter("topk.sweep_graph_runs");
   obs::Histogram& h_ilist = reg.histogram("topk.ilist_size", 1.0, 65536.0);
   reg.counter(cold ? "topk.runs" : "topk.whatif_runs").add(1);
   const std::uint64_t sets_before = c_sets.value();
@@ -245,6 +279,8 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
     memo_.winner_members.assign(
         num_nets, std::vector<std::vector<layout::CapId>>(k + 1));
     wavefront_ = std::make_unique<runtime::Wavefront>(nl);
+    sweep_graph_ =
+        build_sweep_graph(nl, *design_.par, base_, addition, *wavefront_);
     fp_none_.reset();
   } else {
     TKA_CHECK(memo_.k == k, "what_if must reuse the priming run's k");
@@ -261,6 +297,12 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
   }
 
   std::vector<BestSnap> ho_snap(addition ? 0 : num_nets);
+  // Cold elimination sweeps double-buffer the snapshots (QueryContext::
+  // ho_of): the task graph publishes into ho_snap (current sweep) and
+  // readers of same-or-higher-level partners see ho_prev, swapped in at
+  // each sweep boundary. Warm queries keep the single-array level-loop
+  // semantics and leave ho_prev unset.
+  std::vector<BestSnap> ho_prev(cold && !addition ? num_nets : 0);
 
   // Change-driven dirtiness (warm queries). `need` marks victims whose
   // enumeration inputs may have moved; it is seeded from the baseline
@@ -311,6 +353,10 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
   ctx.memo = &memo_;
   ctx.dirty = cold ? nullptr : &rebuilt;
   ctx.ho_snap = &ho_snap;
+  if (cold && !addition) {
+    ctx.ho_prev = &ho_prev;
+    ctx.levels = wavefront_->level_map();
+  }
   ctx.result = &result;
   const bool warm_eval = !cold && sopt_.retain_candidates;
   ctx.evaluate = [this, warm_eval](std::span<const layout::CapId> members,
@@ -343,15 +389,47 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
       memo_.sweep0[i - 1].assign(num_nets, {});
     }
     for (BestSnap& s : ho_snap) s.valid = false;
+    for (BestSnap& s : ho_prev) s.valid = false;
     if (!cold) rebuilt.assign(num_nets, 0);
 
-    // Victims within one topological level never feed each other's driver
-    // cone, so each level is one parallel batch with a barrier in between.
-    // All cross-victim reads inside a batch are of completed earlier levels
-    // or of barrier-published snapshots; every write lands in the victim's
-    // own slot, and all reductions run on the calling thread in index order
-    // — so the result is bit-identical for every thread count.
+    // Cold sweeps run on the dependency-counted task graph: each victim is
+    // one task (generate + reduce + publish fused), released the moment its
+    // fanins — and, in elimination, its lower-level coupled partners — have
+    // completed, so independent subtrees overlap across levels instead of
+    // barrier-syncing each one. Every write lands in the victim's own slot
+    // and all reductions run below on the calling thread in net-id order
+    // (sums and maxes, order-independent besides), so the result is
+    // bit-identical for every thread count and to the level loop
+    // (docs/SCHEDULER.md has the full determinism argument).
+    //
+    // Warm queries keep the level loop: their change-driven `need` flags
+    // legitimately grow *during* the sweep and are read at level-processing
+    // time, a scheduling-order dependence the task graph has no edges for.
     for (int sweep = 0; sweep < sweeps; ++sweep) {
+      if (cold) {
+        obs::ScopedSpan sweep_span("topk.stage.sweep_graph");
+        c_sweep_graphs.add(1);
+        std::vector<topk::PruneStats> net_prune(num_nets);
+        std::vector<std::size_t> net_max(num_nets, 0);
+        sweep_graph_->run(threads, [&](std::size_t t) {
+          const net::NetId v = static_cast<net::NetId>(t);
+          CandidateStage::generate(ctx, v, i, sweep);
+          PruneStage::reduce(ctx, v, i, &net_prune[t], &net_max[t]);
+          if (!addition) PruneStage::publish_one(ctx, v, i, sweep);
+        });
+        for (std::size_t t = 0; t < num_nets; ++t) {
+          result.stats.prune.considered += net_prune[t].considered;
+          result.stats.prune.removed_dominated +=
+              net_prune[t].removed_dominated;
+          result.stats.prune.removed_beam += net_prune[t].removed_beam;
+          result.stats.max_list_size =
+              std::max(result.stats.max_list_size, net_max[t]);
+        }
+        // The finished sweep becomes the "previous" buffer the next sweep's
+        // same-or-higher-level higher-order reads see (ho_of).
+        if (!addition) ho_snap.swap(ho_prev);
+        continue;
+      }
       for (std::size_t lvl = 0; lvl < wavefront_->num_levels(); ++lvl) {
         const std::span<const net::NetId> full = wavefront_->level(lvl);
         std::span<const net::NetId> batch = full;

@@ -25,6 +25,7 @@
 
 #include "noise/coupling_calc.hpp"
 #include "obs/memory.hpp"
+#include "runtime/task_graph.hpp"
 #include "runtime/wavefront.hpp"
 #include "session/what_if.hpp"
 #include "topk/stages/stage_context.hpp"
@@ -98,6 +99,13 @@ class AnalysisSession {
   topk::stages::BaselineState base_;
   topk::stages::SweepMemo memo_;
   std::unique_ptr<runtime::Wavefront> wavefront_;
+  /// Dependency graph over nets for cold sweeps: fanin edges (pseudo
+  /// propagation) plus, in elimination mode, lower-level coupled partners
+  /// (current-sweep higher-order reads). Rebuilt with the wavefront on
+  /// every cold prime — it depends on the query mode and the baseline's
+  /// active caps. Warm what_if queries keep the level-loop scheduler
+  /// (docs/SCHEDULER.md, migration note).
+  std::unique_ptr<runtime::TaskGraph> sweep_graph_;
   /// Approximate footprint of the memoized enumeration state, refreshed at
   /// the end of every query and published as mem.* gauges. Contributions
   /// auto-release on session teardown (the TrackedBytes balance invariant).

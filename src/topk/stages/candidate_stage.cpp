@@ -242,10 +242,11 @@ void CandidateStage::generate(const QueryContext& ctx, net::NetId v,
       } else {
         // Elimination: removing the aggressor's own worst i-set narrows the
         // aggressor window; the removed envelope is the trim of this cap's
-        // envelope (the cap itself stays). Reads the aggressor's
-        // barrier-published snapshot (PruneStage::publish), available when
-        // `a`'s level completed before `v`'s this sweep or last sweep.
-        const BestSnap& s = (*ctx.ho_snap)[a];
+        // envelope (the cap itself stays). Reads the aggressor's published
+        // snapshot (PruneStage::publish/publish_one): the current sweep's
+        // when `a`'s level precedes `v`'s, the previous sweep's otherwise
+        // (see QueryContext::ho_of).
+        const BestSnap& s = ctx.ho_of(a, v);
         if (!s.valid || s.score <= kShiftEps) continue;
         if (std::binary_search(s.members.begin(), s.members.end(), cap)) {
           continue;

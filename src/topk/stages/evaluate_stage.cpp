@@ -5,7 +5,8 @@
 #include <limits>
 
 #include "obs/obs.hpp"
-#include "runtime/runtime.hpp"
+#include "runtime/task_graph.hpp"
+#include "topk/local_topk.hpp"
 
 namespace tka::topk::stages {
 
@@ -97,11 +98,13 @@ void EvaluateStage::select(std::size_t i) {
         }
       }
     }
-    std::sort(ranked.begin(), ranked.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
-    for (const auto& [arrival, s] : ranked) {
-      if (finalists.size() >= kFinalists) break;
-      finalists.push_back(s->members);
+    // Sink-side selection via local top-k heaps + tree merge
+    // (topk/local_topk.hpp): deterministic (arrival desc, insertion-order
+    // tie-break) and never sorts more than the finalists it keeps.
+    for (std::size_t idx : select_top_n(
+             ctx_->threads, ranked.size(), kFinalists,
+             [&](std::size_t r) { return ranked[r].first; })) {
+      finalists.push_back(ranked[idx].second->members);
     }
     if (best_set.empty()) {
       // No cardinality-i set anywhere (tiny design / large i): keep the
@@ -233,12 +236,11 @@ void EvaluateStage::finalize() {
         if (++taken >= opt.rerank_top) break;
       }
     }
-    std::sort(cands.begin(), cands.end(),
-              [](const CandidateSet* a, const CandidateSet* b) {
-                return a->score > b->score;
-              });
-    if (cands.size() > opt.rerank_top) cands.resize(opt.rerank_top);
-    for (const CandidateSet* s : cands) finalists.push_back(&s->members);
+    for (std::size_t idx : select_top_n(
+             ctx_->threads, cands.size(), opt.rerank_top,
+             [&](std::size_t c) { return cands[c]->score; })) {
+      finalists.push_back(&cands[idx]->members);
+    }
   } else {
     // Sink lists are already sorted best-first.
     for (const SinkSet& s : sink_lists_[k]) {
@@ -247,15 +249,21 @@ void EvaluateStage::finalize() {
       if (finalists.size() >= opt.rerank_top) break;
     }
   }
-  // Evaluate finalists in parallel (each fixpoint serial to avoid
-  // oversubscription), then pick the winner in index order so the
-  // strict-better / first-wins tie-breaking matches the serial loop.
+  // Evaluate finalists on work-stealing chunks of one — full fixpoints
+  // vary enough in iteration count that static chunking strands the lane
+  // with the slow ones (each fixpoint itself runs serial to avoid
+  // oversubscription). Per-slot writes; the winner is picked below in
+  // index order so the strict-better / first-wins tie-breaking matches
+  // the serial loop.
   noise::IterativeOptions finalist_opt = ctx_->iter_opt;
   finalist_opt.threads = 1;
   std::vector<double> finalist_delay(finalists.size(), 0.0);
-  runtime::parallel_for(ctx_->threads, 0, finalists.size(), [&](std::size_t fi) {
-    finalist_delay[fi] = ctx_->evaluate(*finalists[fi], finalist_opt);
-  });
+  runtime::parallel_for_dynamic(
+      ctx_->threads, 0, finalists.size(),
+      [&](std::size_t fi) {
+        finalist_delay[fi] = ctx_->evaluate(*finalists[fi], finalist_opt);
+      },
+      /*grain=*/1);
   for (std::size_t fi = 0; fi < finalists.size(); ++fi) {
     const double d = finalist_delay[fi];
     const bool better =

@@ -28,31 +28,34 @@ void PruneStage::reduce(const QueryContext& ctx, net::NetId v, std::size_t i,
   }
 }
 
+void PruneStage::publish_one(const QueryContext& ctx, net::NetId v,
+                             std::size_t i, int sweep) {
+  SweepMemo& memo = *ctx.memo;
+  // Snapshot a dirty victim's end-of-sweep-0 list so the *next* query's
+  // dirty victims can replay their sweep-0 reads of this (then clean)
+  // fanin exactly.
+  if (sweep == 0 && memo.retain && ctx.is_dirty(v)) {
+    const std::span<const CandidateSet> live = memo.lists[i - 1][v].sets();
+    memo.sweep0[i - 1][v].assign(live.begin(), live.end());
+  }
+  // Publish the victim's winner for elimination's higher-order reads.
+  // Clean victims expose their memoized state for this sweep (sets_of).
+  const std::span<const CandidateSet> view = ctx.sets_of(v, i, sweep);
+  BestSnap& s = (*ctx.ho_snap)[v];
+  if (view.empty()) {
+    s.valid = false;
+    return;
+  }
+  const CandidateSet* best = best_of(view);
+  s.valid = true;
+  s.score = best->score;
+  s.members = best->members;
+}
+
 void PruneStage::publish(const QueryContext& ctx,
                          std::span<const net::NetId> level, std::size_t i,
                          int sweep) {
-  SweepMemo& memo = *ctx.memo;
-  for (net::NetId v : level) {
-    // Snapshot a dirty victim's end-of-sweep-0 list so the *next* query's
-    // dirty victims can replay their sweep-0 reads of this (then clean)
-    // fanin exactly.
-    if (sweep == 0 && memo.retain && ctx.is_dirty(v)) {
-      const std::span<const CandidateSet> live = memo.lists[i - 1][v].sets();
-      memo.sweep0[i - 1][v].assign(live.begin(), live.end());
-    }
-    // Publish this level's winners for elimination's higher-order reads.
-    // Clean victims expose their memoized state for this sweep (sets_of).
-    const std::span<const CandidateSet> view = ctx.sets_of(v, i, sweep);
-    BestSnap& s = (*ctx.ho_snap)[v];
-    if (view.empty()) {
-      s.valid = false;
-      continue;
-    }
-    const CandidateSet* best = best_of(view);
-    s.valid = true;
-    s.score = best->score;
-    s.members = best->members;
-  }
+  for (net::NetId v : level) publish_one(ctx, v, i, sweep);
 }
 
 }  // namespace tka::topk::stages

@@ -17,10 +17,18 @@ class PruneStage {
   static void reduce(const QueryContext& ctx, net::NetId v, std::size_t i,
                      PruneStats* prune_out, std::size_t* max_list_out);
 
-  /// Elimination only, called at each level barrier with the FULL level
-  /// (clean victims included): snapshots dirty victims' sweep-0 lists for
-  /// the next query and publishes every victim's current winner for
-  /// higher-order reads. Serial, on the orchestrating thread.
+  /// Elimination only: snapshots a dirty victim's sweep-0 list for the next
+  /// query and publishes its current winner into ctx.ho_snap (the current-
+  /// sweep buffer) for higher-order reads. Writes only victim-owned slots,
+  /// so the task-graph sweep fuses it onto the end of each victim's task —
+  /// an a -> v edge guarantees `a`'s publication precedes any current-sweep
+  /// read by `v`.
+  static void publish_one(const QueryContext& ctx, net::NetId v,
+                          std::size_t i, int sweep);
+
+  /// Elimination only, called at each level barrier of the level-loop path
+  /// with the FULL level (clean victims included): publish_one over the
+  /// level. Serial, on the orchestrating thread.
   static void publish(const QueryContext& ctx,
                       std::span<const net::NetId> level, std::size_t i,
                       int sweep);

@@ -128,6 +128,15 @@ struct QueryContext {
   /// sweep-0 batch); nullptr = cold query (every victim rebuilt).
   const std::vector<char>* dirty = nullptr;
   std::vector<BestSnap>* ho_snap = nullptr;  // elimination only
+  /// Task-graph sweeps (cold queries) double-buffer the higher-order
+  /// snapshots: ho_snap is the *current* sweep's buffer (written by each
+  /// victim's fused publish), ho_prev the completed previous sweep's
+  /// (immutable during the sweep, all-invalid at sweep 0). nullptr on the
+  /// level-loop path, where the single ho_snap array carries both roles
+  /// positionally (a same-or-higher-level entry simply hasn't been
+  /// overwritten yet). `levels` is the wavefront's net -> level map.
+  const std::vector<BestSnap>* ho_prev = nullptr;
+  std::span<const int> levels;
   TopkResult* result = nullptr;
 
   /// Full-fixpoint circuit delay with exactly `members` active (addition)
@@ -160,6 +169,18 @@ struct QueryContext {
       return memo->sweep0[card - 1][u];
     }
     return memo->lists[card - 1][u].sets();
+  }
+
+  /// The higher-order snapshot of aggressor `a` as victim `v` sees it.
+  /// Level-barrier semantics, independent of scheduler: a partner at a
+  /// strictly lower level was published *this* sweep; a partner at the same
+  /// or a higher level still carries the *previous* sweep's publication
+  /// (invalid during sweep 0). The task-graph path realizes this with the
+  /// explicit cur/prev pair — an a -> v dependency edge exists exactly for
+  /// the lower-level partners, so cur[a] is complete when read.
+  const BestSnap& ho_of(net::NetId a, net::NetId v) const {
+    if (ho_prev != nullptr && levels[a] >= levels[v]) return (*ho_prev)[a];
+    return (*ho_snap)[a];
   }
 };
 

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Docs link and code-path checker.
+
+Validates, for every markdown file in docs/ plus README.md:
+
+  * intra-repo markdown links — `[text](path)` and `[text](path#anchor)`
+    where the path is relative (not http/https/mailto) — resolve to a file
+    that exists, and the #anchor (if any) matches a heading in the target
+    (GitHub slug rules: lowercase, punctuation stripped, spaces to dashes);
+  * backtick code-path references that look like repo paths — `src/...`,
+    `bench/...`, `tests/...`, `tools/...`, `docs/...`, `examples/...` —
+    name files or directories that actually exist, so prose never drifts
+    behind a rename.
+
+Trailing location suffixes in code refs (`src/foo.cpp:123`, `src/foo.hpp`
+inside a longer phrase) are handled; glob-ish refs containing `*` or `<`
+placeholders are skipped. Exits nonzero listing every broken ref.
+
+Run from the repo root (CI does):  python3 tools/check_docs_links.py
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Backticked tokens that start with one of these are checked as paths.
+CODE_PATH_PREFIXES = ("src/", "bench/", "tests/", "tools/", "docs/",
+                      "examples/", ".github/")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_REF = re.compile(r"`([^`]+)`")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: strip punctuation, lowercase, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading).strip()
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    slugs = {}
+    out = set()
+    for m in HEADING.finditer(content):
+        slug = github_slug(m.group(1))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def expand_braces(ref):
+    """`src/wave/envelope.{hpp,cpp}` -> both concrete paths."""
+    m = re.match(r"^(.*)\{([^}]*)\}(.*)$", ref)
+    if not m:
+        return [ref]
+    return [m.group(1) + alt + m.group(3) for alt in m.group(2).split(",")]
+
+
+def path_exists(ref):
+    """True when `ref` names a committed path, or a built binary whose
+    source sits next to it (`tools/bench_compare` -> bench_compare.cpp)."""
+    full = os.path.join(REPO, ref)
+    if os.path.exists(full):
+        return True
+    if not os.path.splitext(ref)[1]:
+        return any(os.path.exists(full + ext) for ext in (".cpp", ".py"))
+    return False
+
+
+def check_file(md_path, errors):
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    rel = os.path.relpath(md_path, REPO)
+    md_dir = os.path.dirname(md_path)
+
+    for lineno, line in enumerate(content.splitlines(), 1):
+        for m in MD_LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, anchor = target.partition("#")
+            if not path:  # same-file anchor
+                dest = md_path
+            else:
+                dest = os.path.normpath(os.path.join(md_dir, path))
+            if not os.path.exists(dest):
+                errors.append(f"{rel}:{lineno}: broken link `{target}` "
+                              f"(no such file {os.path.relpath(dest, REPO)})")
+                continue
+            if anchor and dest.endswith(".md"):
+                if anchor not in anchors_of(dest):
+                    errors.append(f"{rel}:{lineno}: broken anchor "
+                                  f"`{target}` (no heading slugs to "
+                                  f"`#{anchor}` in "
+                                  f"{os.path.relpath(dest, REPO)})")
+
+        for m in CODE_REF.finditer(line):
+            ref = m.group(1).strip()
+            if not ref.startswith(CODE_PATH_PREFIXES):
+                continue
+            if any(c in ref for c in "*<>$ "):  # glob/placeholder/prose
+                continue
+            ref = ref.rstrip("/").split(":")[0]  # drop :lineno suffix
+            for expanded in expand_braces(ref):
+                if not path_exists(expanded):
+                    errors.append(f"{rel}:{lineno}: stale code ref "
+                                  f"`{expanded}` (no such path)")
+
+
+def main():
+    targets = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    for name in sorted(os.listdir(docs)):
+        if name.endswith(".md"):
+            targets.append(os.path.join(docs, name))
+
+    errors = []
+    for path in targets:
+        check_file(path, errors)
+
+    if errors:
+        print(f"check_docs_links: {len(errors)} broken reference(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_docs_links: {len(targets)} files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,8 +133,10 @@ void report_bench(const std::string& path, double wait_threshold_pct) {
       wait += lwait;
       wall += lwall;
       max_wall = std::max(max_wall, lwall);
+      // Pre-task-graph records lack "steals"; default 0 like exec_cpu_s.
       std::printf("    lane %2.0f (%s)  util %3.0f%%  exec %7.3fs  "
-                  "cpu %7.3fs  barrier %7.3fs  idle %7.3fs  tasks %.0f\n",
+                  "cpu %7.3fs  barrier %7.3fs  idle %7.3fs  tasks %.0f  "
+                  "steals %.0f\n",
                   lane.number_or("lane", 0.0),
                   lane.find("worker") != nullptr && lane.find("worker")->boolean
                       ? "worker"
@@ -142,7 +144,8 @@ void report_bench(const std::string& path, double wait_threshold_pct) {
                   100.0 * lane.number_or("utilization", 0.0), lexec, lcpu,
                   lane.number_or("barrier_wait_s", 0.0),
                   lane.number_or("queue_idle_s", 0.0),
-                  lane.number_or("tasks", 0.0));
+                  lane.number_or("tasks", 0.0),
+                  lane.number_or("steals", 0.0));
     }
     const std::size_t n = lanes->array.size();
     // Efficiency over CPU actually burned: stretched-but-preempted exec
