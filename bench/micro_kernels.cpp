@@ -6,6 +6,7 @@
 // comparable across runs and tiers) and folds every result into a
 // checksum reported as a value — which both defeats dead-code elimination
 // and gives bench_compare a deterministic output to diff.
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "common.hpp"
 #include "noise/noise_analyzer.hpp"
 #include "topk/dominance.hpp"
+#include "topk/sig_table.hpp"
 #include "util/rng.hpp"
 #include "wave/envelope.hpp"
 #include "wave/pulse.hpp"
@@ -205,6 +207,55 @@ int main(int argc, char** argv) {
       survivors += static_cast<double>(work.size());
     }
     r.value("checksum", survivors);
+  });
+
+  // Packed-column signature sweep at engine scale: one prepared candidate
+  // against a 4096-entry SoA table per iteration. Isolates the SigTable
+  // compare kernel (no sort, no envelope co-walk) the prune's hot loop
+  // runs per candidate.
+  h.run_case("prune_dominated_soa/4096", [](bench::Reporter& r) {
+    Rng rng(9);
+    const wave::DominanceInterval iv{0.0, 6.0};
+    topk::SigTable table;
+    table.reserve(4096);
+    std::vector<wave::EnvelopeSignature> cands;
+    for (int i = 0; i < 4096; ++i) {
+      table.push_back(wave::make_signature(random_envelope(rng), iv));
+    }
+    for (int i = 0; i < 64; ++i) {
+      cands.push_back(wave::make_signature(random_envelope(rng), iv));
+    }
+    std::vector<std::uint8_t> flags(table.size());
+    double rejects = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const wave::EnvelopeSignature& cand = cands[i % cands.size()];
+      table.rejects_batch(cand, 1e-9, flags.data());
+      for (std::uint8_t f : flags) rejects += f;
+    }
+    r.value("checksum", rejects);
+  });
+
+  // Allocation churn across the small-buffer spill boundary: build and
+  // drop waveforms of 4..64 points, the construct/destroy pattern the
+  // candidate stage runs per generated set. Times the storage layer —
+  // inline buffer, pool hit path, block recycling — rather than the
+  // merge arithmetic.
+  h.run_case("pwl_alloc_churn", [](bench::Reporter& r) {
+    Rng rng(10);
+    std::vector<wave::Point> pts;
+    double sum = 0.0;
+    for (int i = 0; i < 50000; ++i) {
+      const int n = 4 + static_cast<int>(rng.next_double(0.0, 60.0));
+      pts.clear();
+      double t = 0.0;
+      for (int j = 0; j < n; ++j) {
+        t += 0.01 + rng.next_double(0.0, 0.1);
+        pts.push_back({t, rng.next_double()});
+      }
+      const wave::Pwl w(pts);
+      sum += w.peak() + static_cast<double>(w.size());
+    }
+    r.value("checksum", sum);
   });
 
   for (const size_t n : {6u, 12u, 24u}) {

@@ -11,13 +11,13 @@ std::uint64_t key_of(net::NetId victim, layout::CapId cap) {
   return (static_cast<std::uint64_t>(victim) << 32) | cap;
 }
 
-// Approximate heap footprint of one cache entry: the Pwl's point storage
-// plus a flat allowance for the unordered_map node and key.
+// Approximate heap footprint of one cache entry: the Pwl object (inline
+// point buffer included) plus its spilled pool block, plus a flat allowance
+// for the unordered_map node and key.
 std::int64_t entry_bytes(const wave::Pwl& pwl) {
   constexpr std::int64_t kNodeOverhead = 64;
-  return kNodeOverhead +
-         static_cast<std::int64_t>(pwl.points().capacity() *
-                                   sizeof(wave::Point));
+  return kNodeOverhead + static_cast<std::int64_t>(sizeof(wave::Pwl)) +
+         static_cast<std::int64_t>(pwl.heap_bytes());
 }
 
 }  // namespace
@@ -56,6 +56,9 @@ const wave::Pwl& EnvelopeBuilder::envelope(net::NetId victim, layout::CapId cap)
   // value (both are identical — build() is a pure function of the key).
   cache_misses_.add();
   wave::Pwl env = build(victim, cap, 0.0);
+  // Cache entries live for the session: drop the growth slack so resident
+  // bytes track the points actually held.
+  env.compact();
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   auto [ins, inserted] = cache_.try_emplace(key, std::move(env));
   if (inserted) cache_bytes_.add(entry_bytes(ins->second));

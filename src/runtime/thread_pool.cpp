@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
+#include "wave/point_store.hpp"
+
 namespace tka::runtime {
 namespace {
 
@@ -52,7 +54,7 @@ void ThreadPool::worker_loop() {
       telemetry::PhaseScope idle(lane, telemetry::Phase::kQueueIdle);
 #endif
       cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      if (queue_.empty()) break;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -66,6 +68,9 @@ void ThreadPool::worker_loop() {
     task();
 #endif
   }
+  // Deterministic teardown: return this lane's parked waveform-pool blocks
+  // before the thread exits rather than relying on TLS destructor order.
+  wave::pool::trim_thread();
 }
 
 }  // namespace tka::runtime

@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
+#include "wave/point_store.hpp"
 #include "topk/stages/baseline_stage.hpp"
 #include "topk/stages/candidate_stage.hpp"
 #include "topk/stages/evaluate_stage.hpp"
@@ -23,6 +24,11 @@ using topk::stages::PruneStage;
 using topk::stages::QueryContext;
 
 namespace {
+
+// Per-thread waveform-pool bytes left parked after the per-query trim: a
+// warm set large enough that the next query's small merges hit the cache
+// immediately, small enough that idle shard workers stay lean.
+constexpr std::size_t kPoolKeepBytesPerThread = 256u << 10;
 
 // The cold-sweep dependency graph: one task per net (task index == net id),
 // with an edge u -> v for every intra-sweep read v makes of u's
@@ -181,7 +187,7 @@ bool lists_equal(std::span<const topk::CandidateSet> a,
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].score != b[i].score || a[i].members != b[i].members ||
-        a[i].envelope.points() != b[i].envelope.points()) {
+        !a[i].envelope.same_points(b[i].envelope)) {
       return false;
     }
   }
@@ -555,6 +561,14 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
       .set(static_cast<double>(result.stats.max_list_size));
   reg.gauge("topk.runtime_s").set(result.stats.runtime_s);
 
+  // Waveform-pool hygiene: the query's transient waveforms are gone, so ask
+  // every thread (lazily, at its next pool touch) to trim its free lists
+  // back to a small warm set. Long-lived shard workers otherwise keep a
+  // query-peak's worth of parked blocks forever. Long-lived waveforms
+  // (envelope cache, memo snapshots) own their blocks and are unaffected.
+  wave::pool::trim_all(kPoolKeepBytesPerThread);
+  wave::pool::publish_gauges();
+
 #if TKA_OBS_ENABLED
   // Memory accounting: walk the memoized state once per query and publish
   // the approximate footprints (mem.candidate_tables_bytes for the live
@@ -571,7 +585,7 @@ topk::TopkResult AnalysisSession::query(const std::vector<net::NetId>* seeds) {
         memo_bytes += snap.capacity() * sizeof(topk::CandidateSet);
         for (const topk::CandidateSet& s : snap) {
           memo_bytes += s.members.capacity() * sizeof(layout::CapId);
-          memo_bytes += s.envelope.points().capacity() * sizeof(wave::Point);
+          memo_bytes += s.envelope.heap_bytes();
         }
       }
     }

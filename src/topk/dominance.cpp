@@ -1,8 +1,10 @@
 #include "topk/dominance.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "obs/metrics.hpp"
+#include "topk/sig_table.hpp"
 
 namespace tka::topk {
 
@@ -35,20 +37,40 @@ void prune_dominated(std::vector<CandidateSet>& list,
 
   std::uint64_t sig_rejects = 0;
   std::uint64_t exact_checks = 0;
-  std::vector<CandidateSet> kept;
-  kept.reserve(list.size());
-  for (CandidateSet& cand : list) {
+  // Per-sweep scratch, thread-local so repeated prunes reuse the packed
+  // columns' capacity. Winners' signatures are appended SoA as they
+  // survive; each candidate sweeps the packed columns with its hoisted
+  // compare constants instead of chasing them through the CandidateSet
+  // structs.
+  static thread_local SigTable winners;
+  winners.clear();
+  // Survivors are usually a small fraction of the candidates (dominated
+  // sets are the point of the pass), so size the packed columns for a
+  // typical kept count and let push_back growth cover outliers — reserving
+  // list.size() would spike resident memory exactly when the candidate
+  // list itself peaks.
+  winners.reserve(std::min<std::size_t>(list.size(), 512));
+  // Survivors compact in place: list[0, w) always holds the winners so far,
+  // so no shadow `kept` vector doubles the candidate array at the moment
+  // resident memory peaks. Stable — survivor order is unchanged.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    CandidateSet& cand = list[i];
+    // Signature pre-filter over the packed winner columns: a reject proves
+    // the exact check would fail, so most non-dominating pairs cost a few
+    // packed float compares instead of an envelope co-walk. Each pair
+    // evaluates the same predicate as wave::signature_rejects, in the same
+    // winner order, stopping at the first dominating winner — so both the
+    // survivors and the dominance.* counters are unchanged.
+    const SigTable::Prepared prep = SigTable::prepare(cand.sig, tol);
     bool dominated = false;
-    for (const CandidateSet& winner : kept) {
-      // Signature pre-filter: a reject proves the exact check would fail,
-      // so most non-dominating pairs cost a few float compares instead of
-      // an envelope co-walk. Never changes which sets survive.
-      if (wave::signature_rejects(winner.sig, cand.sig, tol)) {
+    for (std::size_t j = 0; j < w; ++j) {
+      if (winners.rejects(j, prep)) {
         ++sig_rejects;
         continue;
       }
       ++exact_checks;
-      if (wave::dominates(winner.envelope, cand.envelope, interval, tol)) {
+      if (wave::dominates(list[j].envelope, cand.envelope, interval, tol)) {
         dominated = true;
         break;
       }
@@ -56,12 +78,14 @@ void prune_dominated(std::vector<CandidateSet>& list,
     if (dominated) {
       if (stats != nullptr) ++stats->removed_dominated;
     } else {
-      kept.push_back(std::move(cand));
+      winners.push_back(cand.sig);
+      if (w != i) list[w] = std::move(cand);
+      ++w;
     }
   }
   c_sig_rejects.add(sig_rejects);
   c_exact_checks.add(exact_checks);
-  list = std::move(kept);
+  list.resize(w);
 }
 
 void apply_beam(std::vector<CandidateSet>& list, size_t beam_cap, PruneStats* stats) {

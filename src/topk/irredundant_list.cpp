@@ -13,6 +13,7 @@ bool IList::try_add(CandidateSet set) {
     CandidateSet& existing = sets_[it->second];
     if (existing.members == set.members) {
       if (set.score > existing.score) {
+        set.envelope.compact();
         existing = std::move(set);
         // Scores only ever grow here, so the previous best cannot lose its
         // spot — but a lower index reaching the best score must take over
@@ -27,6 +28,9 @@ bool IList::try_add(CandidateSet set) {
     }
   }
   index_.emplace(h, sets_.size());
+  // Sets that make it into the list outlive the sweep (memoized lists,
+  // session results); park them at their exact footprint.
+  set.envelope.compact();
   sets_.push_back(std::move(set));
   if (best_ == kNoBest || sets_.back().score > sets_[best_].score) {
     best_ = sets_.size() - 1;
@@ -73,6 +77,12 @@ void IList::reduce(const wave::DominanceInterval& interval, double tol,
     if (!present) sets_.push_back(std::move(seed));
   }
 
+  // The list is memoized for the rest of the run and the beam has settled
+  // its final size, so drop the generation-phase growth slack — the pruning
+  // above compacts in place and would otherwise leave the pre-prune
+  // capacity parked in every memoized list.
+  sets_.shrink_to_fit();
+
   // Rebuild the dedup index and the best pointer after reordering/removal.
   index_.clear();
   best_ = sets_.empty() ? kNoBest : 0;
@@ -101,7 +111,7 @@ std::size_t IList::approx_bytes() const {
                       index_.size() * kIndexNodeBytes;
   for (const CandidateSet& s : sets_) {
     bytes += s.members.capacity() * sizeof(layout::CapId);
-    bytes += s.envelope.points().capacity() * sizeof(wave::Point);
+    bytes += s.envelope.heap_bytes();
   }
   return bytes;
 }

@@ -1,0 +1,132 @@
+#include "topk/sig_table.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "util/assert.hpp"
+
+namespace tka::topk {
+namespace {
+
+constexpr int kSamples = wave::EnvelopeSignature::kSamples;
+
+#if defined(__x86_64__)
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+SigTable::Prepared SigTable::prepare(const wave::EnvelopeSignature& b,
+                                     double tol) {
+  TKA_ASSERT(b.valid);
+  Prepared p;
+  // Term for term the hoistable subexpressions of wave::signature_rejects:
+  // gap, gap * (b.hi - b.lo) and b.samples[s] - gap depend only on b and
+  // tol, so computing them once per candidate yields bit-identical operands
+  // for every pair.
+  p.peak_plus_gap_rhs = b.peak;
+  p.gap = tol + wave::kSigMargin;
+  p.integral = b.integral;
+  p.span_gap = p.gap * (b.hi - b.lo);
+  for (int s = 0; s < kSamples; ++s) {
+    p.samples_gap[s] = b.samples[s] - p.gap;
+  }
+  return p;
+}
+
+void SigTable::push_back(const wave::EnvelopeSignature& sig) {
+  TKA_ASSERT(sig.valid);
+  if (empty()) {
+    lo_ = sig.lo;
+    hi_ = sig.hi;
+  } else {
+    TKA_ASSERT(sig.lo == lo_ && sig.hi == hi_);
+  }
+  peak_.push_back(sig.peak);
+  integral_.push_back(sig.integral);
+  samples_.insert(samples_.end(), sig.samples.data(),
+                  sig.samples.data() + kSamples);
+}
+
+void SigTable::clear() {
+  peak_.clear();
+  integral_.clear();
+  samples_.clear();
+}
+
+void SigTable::reserve(std::size_t n) {
+  peak_.reserve(n);
+  integral_.reserve(n);
+  samples_.reserve(n * kSamples);
+}
+
+std::size_t SigTable::heap_bytes() const {
+  return (peak_.capacity() + integral_.capacity() + samples_.capacity()) *
+         sizeof(double);
+}
+
+// exists s: a.samples[s] < b.samples[s] - gap, over one entry's contiguous
+// 8-double row. Branchless OR of the eight compares — the row is one cache
+// line, and a flat reduction lets the compiler keep it in vector registers
+// even without the AVX2 path.
+bool SigTable::samples_reject(const double* row, const Prepared& b) {
+#if defined(__x86_64__)
+  if (cpu_has_avx2()) return samples_reject_avx2(row, b);
+#endif
+  bool rej = false;
+  for (int s = 0; s < kSamples; ++s) {
+    rej |= row[s] < b.samples_gap[s];
+  }
+  return rej;
+}
+
+#if defined(__x86_64__)
+
+// Two 4-lane ordered (quiet) compares cover the whole grid; _CMP_LT_OQ
+// matches the scalar < operator's NaN behaviour exactly, so the decision is
+// bit-identical to the scalar loop.
+__attribute__((target("avx2"))) bool SigTable::samples_reject_avx2(
+    const double* row, const Prepared& b) {
+  static_assert(kSamples == 8, "grid sized for two 4-wide compares");
+  const __m256d lo = _mm256_cmp_pd(_mm256_loadu_pd(row),
+                                   _mm256_loadu_pd(b.samples_gap), _CMP_LT_OQ);
+  const __m256d hi =
+      _mm256_cmp_pd(_mm256_loadu_pd(row + 4),
+                    _mm256_loadu_pd(b.samples_gap + 4), _CMP_LT_OQ);
+  return _mm256_movemask_pd(_mm256_or_pd(lo, hi)) != 0;
+}
+
+#endif  // __x86_64__
+
+void SigTable::rejects_batch(const wave::EnvelopeSignature& b, double tol,
+                             std::uint8_t* flags) const {
+  const std::size_t n = size();
+  if (n == 0) return;
+  TKA_ASSERT(b.lo == lo_ && b.hi == hi_);
+  const Prepared prep = prepare(b, tol);
+  for (std::size_t j = 0; j < n; ++j) {
+    flags[j] = rejects(j, prep) ? 1 : 0;
+  }
+}
+
+bool SigTable::rejects_one(std::size_t j, const wave::EnvelopeSignature& b,
+                           double tol) const {
+  wave::EnvelopeSignature a;
+  a.valid = true;
+  a.lo = lo_;
+  a.hi = hi_;
+  a.peak = peak_[j];
+  a.integral = integral_[j];
+  for (int s = 0; s < kSamples; ++s) {
+    a.samples[s] = samples_[j * kSamples + s];
+  }
+  return wave::signature_rejects(a, b, tol);
+}
+
+}  // namespace tka::topk

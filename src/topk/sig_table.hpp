@@ -1,0 +1,101 @@
+// SoA envelope-signature table: the dominance pre-filter's data layout.
+//
+// prune_dominated compares every candidate against all kept winners; the
+// overwhelmingly common outcome is a signature reject, so the pre-filter's
+// memory layout decides the sweep's speed. A CandidateSet array scatters
+// each signature's peak/integral/8-grid samples across ~300-byte structs;
+// this table packs the winners' signature fields into contiguous parallel
+// columns — peak[], integral[], and the 8-point sample grids as one dense
+// row-per-entry array (64 bytes, exactly one cache line, the natural SIMD
+// width the grid was sized for) — so sweeping one candidate against every
+// winner streams packed doubles instead of hopping between structs
+// (docs/KERNELS.md).
+//
+// The compare evaluates exactly the scalar wave::signature_rejects
+// predicate per pair (same IEEE expressions, same ordered-comparison NaN
+// semantics, the AVX2 path included), so the reject decisions — and with
+// them the pruning results and the dominance.* counters — are bit-identical
+// to the per-candidate scalar sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include <vector>
+
+#include "wave/envelope.hpp"
+
+namespace tka::topk {
+
+/// Packed columns of EnvelopeSignature entries sharing one dominance
+/// interval. Append-only between clears; used as per-sweep scratch by
+/// prune_dominated (winners are appended as they survive).
+class SigTable {
+ public:
+  /// The candidate-side constants of wave::signature_rejects, hoisted once
+  /// per candidate: every term of the predicate compares a packed column
+  /// against one of these (computed with the scalar path's exact
+  /// expressions, so each pair still sees bit-identical operands).
+  struct Prepared {
+    double peak_plus_gap_rhs = 0.0;  ///< b.peak (lhs of peak > a.peak+gap)
+    double gap = 0.0;
+    double integral = 0.0;  ///< b.integral
+    double span_gap = 0.0;  ///< gap * (b.hi - b.lo)
+    double samples_gap[wave::EnvelopeSignature::kSamples] = {};  ///< b.s[i]-gap
+  };
+
+  static Prepared prepare(const wave::EnvelopeSignature& b, double tol);
+
+  /// All entries pushed between clears must be valid signatures of the same
+  /// interval (prune_dominated backfills them before the sweep), which lets
+  /// the compare hoist the validity/interval checks of the scalar
+  /// predicate out of the loop.
+  void push_back(const wave::EnvelopeSignature& sig);
+
+  void clear();
+  void reserve(std::size_t n);
+  std::size_t size() const { return peak_.size(); }
+  bool empty() const { return peak_.empty(); }
+
+  /// Heap bytes owned by the packed columns.
+  std::size_t heap_bytes() const;
+
+  /// True when entry j (as the prospective dominator `a`) signature-rejects
+  /// the prepared candidate, exactly as wave::signature_rejects(a_j, b,
+  /// tol) would. Peak and integral short-circuit scalar (they settle ~95%
+  /// of pairs); the sample grid is one SIMD compare over the entry's
+  /// cache-line row.
+  bool rejects(std::size_t j, const Prepared& b) const {
+    if (b.peak_plus_gap_rhs > peak_[j] + b.gap) return true;
+    if (b.integral - integral_[j] > b.span_gap) return true;
+    return samples_reject(
+        &samples_[j * wave::EnvelopeSignature::kSamples], b);
+  }
+
+  /// Whole-table form of rejects() (no early exit): flags[j] = 1 when entry
+  /// j rejects. For the bench harness and agreement fuzz tests.
+  void rejects_batch(const wave::EnvelopeSignature& b, double tol,
+                     std::uint8_t* flags) const;
+
+  /// Scalar reference for entry j — rebuilds the signature and defers to
+  /// wave::signature_rejects. Used by tests to pin agreement.
+  bool rejects_one(std::size_t j, const wave::EnvelopeSignature& b,
+                   double tol) const;
+
+ private:
+  static bool samples_reject(const double* row, const Prepared& b);
+#if defined(__x86_64__)
+  __attribute__((target("avx2"))) static bool samples_reject_avx2(
+      const double* row, const Prepared& b);
+#endif
+
+  // Interval shared by every entry (recorded from the first push).
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  std::vector<double> peak_;
+  std::vector<double> integral_;
+  /// kSamples consecutive doubles per entry (entry-major rows).
+  std::vector<double> samples_;
+};
+
+}  // namespace tka::topk

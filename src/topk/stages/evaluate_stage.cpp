@@ -40,10 +40,12 @@ double EvaluateStage::sink_est_delay(const SinkSet& s) const {
 // delay; removing more never raises the elimination one).
 std::vector<layout::CapId> EvaluateStage::pad_to(
     std::vector<layout::CapId> members, std::size_t card) const {
+  // Swap rather than move so the displaced members buffer becomes the next
+  // iteration's scratch instead of a fresh allocation per cap.
+  std::vector<layout::CapId> merged;
   for (layout::CapId id : ctx_->base->caps_by_size) {
     if (members.size() >= card) break;
-    std::vector<layout::CapId> merged;
-    if (union_with(members, id, merged)) members = std::move(merged);
+    if (union_with(members, id, merged)) std::swap(members, merged);
   }
   return members;
 }

@@ -21,7 +21,7 @@ Pwl make_trapezoidal_envelope(const PulseShape& shape, double eat, double lat,
   const double early_peak_t = eat + shape.rise;
   const double late_peak_t = lat + shape.rise;
 
-  std::vector<Point> pts;
+  PointStore pts;
   pts.reserve(early.size() + late.size());
   for (const Point& p : early.points()) {
     if (p.t <= early_peak_t + 1e-12) pts.push_back(p);
@@ -42,17 +42,6 @@ bool dominates(const Pwl& a, const Pwl& b, const DominanceInterval& interval,
   return a.encapsulates(b, interval.lo, interval.hi, tol);
 }
 
-namespace {
-
-// Safety margin for signature rejections: signatures are compared against
-// values the exact check computes at *different* times (breakpoints vs the
-// fixed grid), so the rejection threshold is padded by far more than the
-// few-ulp float noise either evaluation carries. Rejecting only gaps beyond
-// tol + kSigMargin keeps "signature rejects => exact check fails" sound.
-constexpr double kSigMargin = 1e-9;
-
-}  // namespace
-
 EnvelopeSignature make_signature(const Pwl& env,
                                  const DominanceInterval& interval) {
   EnvelopeSignature sig;
@@ -70,7 +59,7 @@ EnvelopeSignature make_signature(const Pwl& env,
   // Sup over the interval: attained at an interval end or at a breakpoint
   // strictly inside (the envelope is linear in between).
   sig.peak = std::max(sig.samples.front(), sig.samples.back());
-  const std::vector<Point>& pts = env.points();
+  const std::span<const Point> pts = env.points();
   for (const Point& p : pts) {
     if (p.t > interval.lo && p.t < interval.hi) sig.peak = std::max(sig.peak, p.v);
   }

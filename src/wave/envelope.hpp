@@ -65,6 +65,15 @@ struct EnvelopeSignature {
   std::array<double, kSamples> samples{};
 };
 
+/// Safety margin for signature rejections: signatures are compared against
+/// values the exact check computes at *different* times (breakpoints vs the
+/// fixed grid), so the rejection threshold is padded by far more than the
+/// few-ulp float noise either evaluation carries. Rejecting only gaps beyond
+/// tol + kSigMargin keeps "signature rejects => exact check fails" sound.
+/// Shared between the scalar compare and the SoA batch kernel
+/// (topk/sig_table.hpp) so both reject exactly the same pairs.
+inline constexpr double kSigMargin = 1e-9;
+
 /// Builds the signature of `env` over `interval` in one linear pass.
 /// Invalid (never-rejecting) when the interval itself is invalid.
 EnvelopeSignature make_signature(const Pwl& env,

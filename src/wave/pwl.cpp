@@ -18,27 +18,69 @@ constexpr double kTimeEps = 1e-12;
 // the segment by advancing an index instead of a binary search. Calls must
 // come with non-decreasing t, which every merge sweep below guarantees —
 // that makes a full sweep O(n) instead of O(n log n).
+//
+// With Negate the cursor reads the waveform as if every value had been
+// multiplied by -1.0 first: the interpolation runs on the pre-negated
+// values, exactly what it would see on a materialized scaled(-1.0) copy, so
+// subtract-via-negate sweeps stay bit-identical to the two-pass form. The
+// flag is a template parameter so the common Negate=false instantiation is
+// the plain cursor with no branch in the interpolation path.
+template <bool Negate = false>
 class SegCursor {
  public:
-  explicit SegCursor(const std::vector<Point>& pts) : pts_(&pts) {}
+  explicit SegCursor(std::span<const Point> pts) {
+    // Cached so the boundary checks don't reload through the span each
+    // call: the sweeps interleave value_at with stores into the output
+    // store, and the compiler can't prove those stores leave the input
+    // points unchanged (they do — the output block is freshly allocated).
+    if (!pts.empty()) {
+      cur_ = pts.data();
+      last_ = pts.data() + (pts.size() - 1);
+      front_t_ = pts.front().t;
+      front_v_ = load(pts.front().v);
+      back_t_ = pts.back().t;
+      back_v_ = load(pts.back().v);
+    }
+  }
 
   double value_at(double t) {
-    const std::vector<Point>& pts = *pts_;
-    if (pts.empty()) return 0.0;
-    if (t <= pts.front().t) return pts.front().v;
-    if (t >= pts.back().t) return pts.back().v;
-    while (i_ + 1 < pts.size() && pts[i_ + 1].t <= t) ++i_;
-    const Point& lo = pts[i_];
-    const Point& hi = pts[i_ + 1];
+    if (cur_ == nullptr) return 0.0;
+    if (t <= front_t_) return front_v_;
+    if (t >= back_t_) return back_v_;
+    const Point* cur = cur_;
+    while (cur + 1 < last_ && cur[1].t <= t) ++cur;
+    cur_ = cur;
+    const Point& lo = cur[0];
+    const Point& hi = cur[1];
+    const double lv = load(lo.v);
+    // Exact breakpoint hit — the common case in a merge sweep, where every
+    // merged time is a breakpoint of one operand. The interpolation factor
+    // is then +0.0 ((t - lo.t) is +0.0 over a positive span), so the same
+    // expression is computed with the division skipped. The span-collapse
+    // guard below can't fire here: the constructor invariant keeps
+    // consecutive breakpoint times >= kTimeEps apart.
+    if (t == lo.t) return lv + 0.0 * (load(hi.v) - lv);
     const double span = hi.t - lo.t;
-    if (span < kTimeEps) return hi.v;
+    if (span < kTimeEps) return load(hi.v);
     const double f = (t - lo.t) / span;
-    return lo.v + f * (hi.v - lo.v);
+    return lv + f * (load(hi.v) - lv);
   }
 
  private:
-  const std::vector<Point>* pts_;
-  std::size_t i_ = 0;
+  static double load(double v) {
+    if constexpr (Negate) {
+      return v * -1.0;
+    } else {
+      return v;
+    }
+  }
+
+  const Point* cur_ = nullptr;   // current segment's left breakpoint
+  const Point* last_ = nullptr;  // final breakpoint (segment right bound cap)
+  double front_t_ = 0.0;
+  double front_v_ = 0.0;
+  double back_t_ = 0.0;
+  double back_v_ = 0.0;
 };
 
 // Two-pointer walk over the merged, eps-deduplicated breakpoint times of two
@@ -47,19 +89,20 @@ class SegCursor {
 // within kTimeEps of the last *emitted* time.
 class MergedTimes {
  public:
-  MergedTimes(const std::vector<Point>& a, const std::vector<Point>& b)
-      : a_(&a), b_(&b) {}
+  MergedTimes(std::span<const Point> a, std::span<const Point> b)
+      : pa_(a.data()),
+        ea_(a.data() + a.size()),
+        pb_(b.data()),
+        eb_(b.data() + b.size()) {}
 
   /// Next merged time into *t; false when both lists are exhausted.
   bool next(double* t) {
-    const std::vector<Point>& a = *a_;
-    const std::vector<Point>& b = *b_;
-    while (ia_ < a.size() || ib_ < b.size()) {
+    while (pa_ != ea_ || pb_ != eb_) {
       double cand;
-      if (ib_ >= b.size() || (ia_ < a.size() && a[ia_].t <= b[ib_].t)) {
-        cand = a[ia_++].t;
+      if (pb_ == eb_ || (pa_ != ea_ && pa_->t <= pb_->t)) {
+        cand = (pa_++)->t;
       } else {
-        cand = b[ib_++].t;
+        cand = (pb_++)->t;
       }
       if (have_last_ && cand - last_ < kTimeEps) continue;
       have_last_ = true;
@@ -71,10 +114,10 @@ class MergedTimes {
   }
 
  private:
-  const std::vector<Point>* a_;
-  const std::vector<Point>* b_;
-  std::size_t ia_ = 0;
-  std::size_t ib_ = 0;
+  const Point* pa_;
+  const Point* ea_;
+  const Point* pb_;
+  const Point* eb_;
   bool have_last_ = false;
   double last_ = 0.0;
 };
@@ -84,25 +127,77 @@ obs::Counter& merge_points_counter() {
   return c;
 }
 
-}  // namespace
-
-Pwl::Pwl(std::vector<Point> points) : points_(std::move(points)) {
-  TKA_ASSERT(std::is_sorted(points_.begin(), points_.end(),
-                            [](const Point& a, const Point& b) { return a.t < b.t; }));
-  // Merge equal-time duplicates, keeping the later value.
-  std::vector<Point> merged;
-  merged.reserve(points_.size());
-  for (const Point& p : points_) {
-    if (!merged.empty() && std::abs(merged.back().t - p.t) < kTimeEps) {
-      merged.back().v = p.v;
+// Merge equal-time duplicates in place, keeping the later value. Shared by
+// both constructors; write-index compaction, no allocation. The leading
+// read-only scan makes the common no-duplicate case a single pass with no
+// stores.
+void merge_duplicate_times(PointStore& pts) {
+  const std::size_t n = pts.size();
+  std::size_t i = 1;
+  while (i < n && std::abs(pts[i - 1].t - pts[i].t) >= kTimeEps) ++i;
+  if (i >= n) return;
+  std::size_t w = i;
+  for (; i < n; ++i) {
+    if (w > 0 && std::abs(pts[w - 1].t - pts[i].t) < kTimeEps) {
+      pts[w - 1].v = pts[i].v;
     } else {
-      merged.push_back(p);
+      pts[w++] = pts[i];
     }
   }
-  points_ = std::move(merged);
+  pts.truncate(w);
+}
+
+// Two-pointer merge sweep shared by plus and minus. NegateB folds the
+// scaled(-1.0) of the subtrahend into the read path (exact: IEEE negation
+// and interpolation on pre-negated values are the values the two-pass form
+// computes).
+template <bool NegateB>
+PointStore plus_sweep(std::span<const Point> a, std::span<const Point> b) {
+  PointStore pts;
+  pts.reserve(a.size() + b.size());
+  MergedTimes times(a, b);
+  SegCursor<> ca(a);
+  SegCursor<NegateB> cb(b);
+  // Raw writes into the reserved block: the merged sequence can't exceed
+  // a.size() + b.size(), so the per-push capacity check is dead weight.
+  Point* out = pts.data();
+  std::size_t w = 0;
+  double t;
+  while (times.next(&t)) out[w++] = {t, ca.value_at(t) + cb.value_at(t)};
+  pts.set_size(w);
+  return pts;
+}
+
+}  // namespace
+
+Pwl::Pwl(std::vector<Point> points) {
+  points_.assign(points.data(), points.size());
+  TKA_ASSERT(std::is_sorted(points_.begin(), points_.end(),
+                            [](const Point& a, const Point& b) { return a.t < b.t; }));
+  merge_duplicate_times(points_);
+}
+
+Pwl::Pwl(PointStore points) : points_(std::move(points)) {
+  TKA_ASSERT(std::is_sorted(points_.begin(), points_.end(),
+                            [](const Point& a, const Point& b) { return a.t < b.t; }));
+  merge_duplicate_times(points_);
 }
 
 Pwl Pwl::constant(double v) { return Pwl({{0.0, v}}); }
+
+Pwl Pwl::from_sorted_unique(PointStore pts) {
+  Pwl w;
+  w.points_ = std::move(pts);
+  return w;
+}
+
+bool Pwl::same_points(const Pwl& other) const {
+  if (points_.size() != other.points_.size()) return false;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!(points_[i] == other.points_[i])) return false;
+  }
+  return true;
+}
 
 double Pwl::t_front() const {
   TKA_ASSERT(!points_.empty());
@@ -158,46 +253,46 @@ double Pwl::min_value() const {
 }
 
 Pwl Pwl::shifted(double dt) const {
-  std::vector<Point> pts = points_;
-  for (Point& p : pts) p.t += dt;
+  PointStore pts = points_;
+  for (std::size_t i = 0; i < pts.size(); ++i) pts[i].t += dt;
   return Pwl(std::move(pts));
 }
 
 Pwl Pwl::scaled(double a) const {
-  std::vector<Point> pts = points_;
-  for (Point& p : pts) p.v *= a;
-  return Pwl(std::move(pts));
+  // Times are untouched, so the result inherits this waveform's sorted,
+  // deduplicated breakpoint sequence.
+  PointStore pts = points_;
+  for (std::size_t i = 0; i < pts.size(); ++i) pts[i].v *= a;
+  return from_sorted_unique(std::move(pts));
 }
 
 Pwl Pwl::plus(const Pwl& other) const {
   if (points_.empty()) return other;
   if (other.points_.empty()) return *this;
-  std::vector<Point> pts;
-  pts.reserve(points_.size() + other.points_.size());
-  MergedTimes times(points_, other.points_);
-  SegCursor ca(points_);
-  SegCursor cb(other.points_);
-  double t;
-  while (times.next(&t)) pts.push_back({t, ca.value_at(t) + cb.value_at(t)});
+  PointStore pts = plus_sweep<false>(points_.span(), other.points_.span());
   merge_points_counter().add(pts.size());
-  return Pwl(std::move(pts));
+  return from_sorted_unique(std::move(pts));
 }
 
 Pwl Pwl::minus(const Pwl& other) const {
-  return plus(other.scaled(-1.0));
+  if (points_.empty()) return other.scaled(-1.0);
+  if (other.points_.empty()) return *this;
+  PointStore pts = plus_sweep<true>(points_.span(), other.points_.span());
+  merge_points_counter().add(pts.size());
+  return from_sorted_unique(std::move(pts));
 }
 
 Pwl Pwl::upper_envelope(const Pwl& other) const {
   if (points_.empty()) return other.upper_envelope(Pwl::constant(0.0));
   if (other.points_.empty()) return upper_envelope(Pwl::constant(0.0));
-  std::vector<Point> pts;
+  PointStore pts;
   pts.reserve((points_.size() + other.points_.size()) * 2);
-  MergedTimes times(points_, other.points_);
-  SegCursor ca(points_);
-  SegCursor cb(other.points_);
+  MergedTimes times(points_.span(), other.points_.span());
+  SegCursor<> ca(points_.span());
+  SegCursor<> cb(other.points_.span());
   // Crossing times fall strictly between consecutive merged times, so they
   // form their own non-decreasing sequence and get a dedicated cursor.
-  SegCursor cross(points_);
+  SegCursor<> cross(points_.span());
   bool have_prev = false;
   double tp = 0.0;
   double vap = 0.0;
@@ -227,7 +322,9 @@ Pwl Pwl::upper_envelope(const Pwl& other) const {
     vbp = vb;
   }
   merge_points_counter().add(pts.size());
-  return Pwl(std::move(pts));
+  // Merged times are >= kTimeEps apart and crossings land strictly more
+  // than kTimeEps from both neighbors, so the output needs no dedup pass.
+  return from_sorted_unique(std::move(pts));
 }
 
 Pwl Pwl::clamped(double lo, double hi) const {
@@ -237,7 +334,7 @@ Pwl Pwl::clamped(double lo, double hi) const {
     return z == 0.0 ? Pwl() : Pwl::constant(z);
   }
   // Clamping a PWL can introduce breakpoints where segments cross lo/hi.
-  std::vector<Point> pts;
+  PointStore pts;
   pts.reserve(points_.size() * 2);
   for (size_t i = 0; i < points_.size(); ++i) {
     const Point& p = points_[i];
@@ -277,8 +374,8 @@ bool Pwl::encapsulates(const Pwl& other, double t_lo, double t_hi, double tol) c
   // breakpoint of either inside (t_lo, t_hi) is exact. Linear co-walk: the
   // breakpoints come out in ascending order, so each side's value comes
   // from an advancing cursor.
-  SegCursor ca(points_);
-  SegCursor cb(other.points_);
+  SegCursor<> ca(points_.span());
+  SegCursor<> cb(other.points_.span());
   std::size_t ia = 0;
   std::size_t ib = 0;
   while (ia < points_.size() || ib < other.points_.size()) {
@@ -352,7 +449,7 @@ double Pwl::integral() const {
 
 Pwl Pwl::simplified(double tol) const {
   if (points_.size() <= 2) return *this;
-  std::vector<Point> out;
+  PointStore out;
   out.reserve(points_.size());
   out.push_back(points_.front());
   // Greedy: extend the current segment while every skipped breakpoint stays
@@ -384,7 +481,8 @@ Pwl Pwl::simplified(double tol) const {
     }
   }
   out.push_back(points_.back());
-  return Pwl(std::move(out));
+  // A subsequence of an already-deduplicated breakpoint list.
+  return from_sorted_unique(std::move(out));
 }
 
 std::string Pwl::to_string() const {
@@ -409,11 +507,11 @@ Pwl Pwl::sum(std::span<const Pwl* const> terms) {
   // (with the same eps-dedup as the two-way merge); every term contributes
   // its cursor-interpolated value at each kept time, accumulated in term
   // order.
-  std::vector<SegCursor> cursors;
+  std::vector<SegCursor<>> cursors;
   cursors.reserve(terms.size());
   for (const Pwl* w : terms) cursors.emplace_back(w->points());
   std::vector<std::size_t> head(terms.size(), 0);
-  std::vector<Point> pts;
+  PointStore pts;
   pts.reserve(total);
   bool have_last = false;
   double last_t = 0.0;
@@ -421,7 +519,7 @@ Pwl Pwl::sum(std::span<const Pwl* const> terms) {
     double t = std::numeric_limits<double>::infinity();
     std::size_t arg = terms.size();
     for (std::size_t k = 0; k < terms.size(); ++k) {
-      const std::vector<Point>& p = terms[k]->points();
+      const std::span<const Point> p = terms[k]->points();
       if (head[k] < p.size() && p[head[k]].t < t) {
         t = p[head[k]].t;
         arg = k;
@@ -433,11 +531,12 @@ Pwl Pwl::sum(std::span<const Pwl* const> terms) {
     have_last = true;
     last_t = t;
     double v = 0.0;
-    for (SegCursor& c : cursors) v += c.value_at(t);
+    for (SegCursor<>& c : cursors) v += c.value_at(t);
     pts.push_back({t, v});
   }
   merge_points_counter().add(pts.size());
-  return Pwl(std::move(pts));
+  // Emitted times are eps-deduplicated by the merge itself.
+  return from_sorted_unique(std::move(pts));
 }
 
 }  // namespace tka::wave

@@ -6,6 +6,11 @@
 // Outside its breakpoint span a waveform extrapolates with its boundary
 // value held constant (signals settle; pulses return to zero).
 //
+// Breakpoints are held in a PointStore (wave/point_store.hpp): small
+// waveforms inline, larger ones in thread-pooled blocks — the merge-sweep
+// kernels below build their results directly into a store, so the hot
+// paths never touch the global heap in steady state.
+//
 // Units across the library: time in nanoseconds, voltage in volts.
 #pragma once
 
@@ -16,15 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "wave/point_store.hpp"
+
 namespace tka::wave {
-
-/// One breakpoint of a piecewise-linear waveform.
-struct Point {
-  double t = 0.0;  ///< time (ns)
-  double v = 0.0;  ///< value (V)
-
-  friend bool operator==(const Point&, const Point&) = default;
-};
 
 /// Immutable-ish piecewise-linear waveform: strictly increasing breakpoint
 /// times, linear interpolation between them, constant extrapolation beyond
@@ -37,6 +36,10 @@ class Pwl {
   /// equal time are merged, keeping the later value — a zero-width step).
   explicit Pwl(std::vector<Point> points);
 
+  /// Same contract, taking ownership of an already-populated store (the
+  /// allocation-free path the kernels and envelope builders use).
+  explicit Pwl(PointStore points);
+
   /// The constant-zero waveform.
   static Pwl zero() { return Pwl(); }
 
@@ -45,8 +48,21 @@ class Pwl {
   static Pwl constant(double v);
 
   bool empty() const { return points_.empty(); }
-  const std::vector<Point>& points() const { return points_; }
+  std::span<const Point> points() const { return points_.span(); }
   size_t size() const { return points_.size(); }
+
+  /// Exact breakpoint-sequence equality (same times and values, bitwise).
+  bool same_points(const Pwl& other) const;
+
+  /// Heap bytes owned by the point storage (0 while the points fit the
+  /// inline buffer) — feeds the mem.* footprint gauges.
+  std::size_t heap_bytes() const { return points_.heap_bytes(); }
+
+  /// Reallocates spilled storage down to the exact point count. Kernels
+  /// grow stores in pool size classes, which is right for transient
+  /// waveforms; call this before parking one in a long-lived cache so the
+  /// resident footprint matches the points actually held.
+  void compact() { points_.shrink_to_fit(); }
 
   /// First/last breakpoint time. Asserts non-empty.
   double t_front() const;
@@ -71,7 +87,9 @@ class Pwl {
   /// Pointwise sum. Single-pass two-pointer merge sweep, O(n + m).
   Pwl plus(const Pwl& other) const;
 
-  /// Pointwise difference (this - other).
+  /// Pointwise difference (this - other). Negation is folded into the
+  /// merge sweep (no intermediate negated waveform); IEEE negation is
+  /// exact, so the result is bit-identical to plus(other.scaled(-1)).
   Pwl minus(const Pwl& other) const;
 
   /// Pointwise maximum (upper envelope); inserts crossing breakpoints.
@@ -116,8 +134,13 @@ class Pwl {
   static Pwl sum(std::span<const Pwl* const> terms);
 
  private:
+  /// Adopts a store the merge-sweep kernels built: already sorted with
+  /// consecutive times >= the dedup epsilon apart, so the constructor's
+  /// duplicate-merge pass (a no-op on such input) is skipped entirely.
+  static Pwl from_sorted_unique(PointStore pts);
+
   // Invariant: points_ sorted by strictly increasing t.
-  std::vector<Point> points_;
+  PointStore points_;
 };
 
 }  // namespace tka::wave

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "topk/irredundant_list.hpp"
@@ -104,7 +105,7 @@ Pwl naive_clamped(const Pwl& w, double lo, double hi) {
     const double z = std::clamp(0.0, lo, hi);
     return z == 0.0 ? Pwl() : Pwl::constant(z);
   }
-  const std::vector<Point>& points = w.points();
+  const std::span<const Point> points = w.points();
   std::vector<Point> pts;
   pts.reserve(points.size() * 2);
   for (size_t i = 0; i < points.size(); ++i) {
@@ -138,8 +139,8 @@ bool naive_encapsulates(const Pwl& a, const Pwl& b, double t_lo, double t_hi,
                         double tol) {
   auto check = [&](double t) { return a.value(t) >= b.value(t) - tol; };
   if (!check(t_lo) || !check(t_hi)) return false;
-  for (const std::vector<Point>* src : {&a.points(), &b.points()}) {
-    for (const Point& p : *src) {
+  for (const std::span<const Point> src : {a.points(), b.points()}) {
+    for (const Point& p : src) {
       if (p.t <= t_lo || p.t >= t_hi) continue;
       if (!check(p.t)) return false;
     }

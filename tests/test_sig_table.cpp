@@ -1,0 +1,152 @@
+// SigTable agreement tests: the packed-column (SoA) signature compare must
+// reject exactly the pairs wave::signature_rejects rejects — the dominance
+// prune's correctness rests on "signature rejects => exact check fails",
+// and its bit-reproducibility on the SoA path agreeing with the scalar
+// predicate pair for pair.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topk/dominance.hpp"
+#include "topk/sig_table.hpp"
+#include "wave/envelope.hpp"
+#include "wave/pwl.hpp"
+
+namespace tka::topk {
+namespace {
+
+wave::Pwl random_envelope(std::mt19937_64& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> val(0.0, 1.0);
+  std::vector<wave::Point> pts;
+  const int n = 2 + static_cast<int>(rng() % 14);
+  for (int i = 0; i <= n; ++i) {
+    const double t = lo + (hi - lo) * i / n;
+    pts.push_back({t, val(rng)});
+  }
+  return wave::Pwl(pts);
+}
+
+// 10k random candidate pairs: the SoA compare (single-entry, prepared
+// single-entry, and whole-table batch forms) must agree with
+// wave::signature_rejects on every pair, including pairs engineered to sit
+// near the rejection threshold.
+TEST(SigTable, AgreesWithScalarPredicateOnRandomCandidates) {
+  std::mt19937_64 rng(29);
+  const wave::DominanceInterval iv{0.0, 1.0};
+  const int kTableSize = 100;
+  const int kCandidates = 100;  // 100 x 100 = 10k compared pairs
+
+  SigTable table;
+  std::vector<wave::EnvelopeSignature> ref;
+  for (int i = 0; i < kTableSize; ++i) {
+    const wave::EnvelopeSignature sig =
+        wave::make_signature(random_envelope(rng, iv.lo, iv.hi), iv);
+    ASSERT_TRUE(sig.valid);
+    table.push_back(sig);
+    ref.push_back(sig);
+  }
+  ASSERT_EQ(table.size(), static_cast<std::size_t>(kTableSize));
+
+  std::uniform_real_distribution<double> tol_dist(0.0, 0.2);
+  std::vector<std::uint8_t> flags(table.size());
+  int rejects = 0;
+  for (int c = 0; c < kCandidates; ++c) {
+    wave::EnvelopeSignature cand =
+        wave::make_signature(random_envelope(rng, iv.lo, iv.hi), iv);
+    if (c % 4 == 0) {
+      // Push some candidates right against a table entry: threshold-edge
+      // pairs are where a layout bug would first disagree.
+      const wave::EnvelopeSignature& base = ref[rng() % ref.size()];
+      cand = base;
+      cand.peak += tol_dist(rng) * 0.01;
+      cand.samples[rng() % wave::EnvelopeSignature::kSamples] -= 1e-10;
+    }
+    const double tol = tol_dist(rng);
+    const SigTable::Prepared prep = SigTable::prepare(cand, tol);
+    table.rejects_batch(cand, tol, flags.data());
+    for (std::size_t j = 0; j < table.size(); ++j) {
+      const bool expect = wave::signature_rejects(ref[j], cand, tol);
+      ASSERT_EQ(table.rejects(j, prep), expect) << "pair " << j << "/" << c;
+      ASSERT_EQ(table.rejects_one(j, cand, tol), expect);
+      ASSERT_EQ(flags[j] != 0, expect);
+      rejects += expect;
+    }
+  }
+  // The fuzz must exercise both outcomes to mean anything.
+  EXPECT_GT(rejects, 0);
+  EXPECT_LT(rejects, kTableSize * kCandidates);
+}
+
+TEST(SigTable, ClearAndReuseKeepsAgreement) {
+  std::mt19937_64 rng(31);
+  const wave::DominanceInterval iv_a{0.0, 1.0};
+  const wave::DominanceInterval iv_b{0.5, 2.0};
+  SigTable table;
+  // Fill against one interval, clear, refill against another: stale
+  // interval state must not leak through clear().
+  for (int i = 0; i < 8; ++i) {
+    table.push_back(wave::make_signature(random_envelope(rng, 0.0, 1.0), iv_a));
+  }
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  std::vector<wave::EnvelopeSignature> ref;
+  for (int i = 0; i < 8; ++i) {
+    const wave::EnvelopeSignature sig =
+        wave::make_signature(random_envelope(rng, 0.5, 2.0), iv_b);
+    table.push_back(sig);
+    ref.push_back(sig);
+  }
+  const wave::EnvelopeSignature cand =
+      wave::make_signature(random_envelope(rng, 0.5, 2.0), iv_b);
+  const SigTable::Prepared prep = SigTable::prepare(cand, 1e-3);
+  for (std::size_t j = 0; j < table.size(); ++j) {
+    EXPECT_EQ(table.rejects(j, prep),
+              wave::signature_rejects(ref[j], cand, 1e-3));
+  }
+}
+
+// prune_dominated with the SoA pre-filter must keep exactly the candidates
+// a filter-free reference prune keeps (same sets, same order).
+TEST(SigTable, PruneMatchesExactOnlyReference) {
+  std::mt19937_64 rng(37);
+  const wave::DominanceInterval iv{0.0, 1.0};
+  const double tol = 1e-6;
+  std::vector<CandidateSet> list;
+  for (int i = 0; i < 120; ++i) {
+    CandidateSet s;
+    s.envelope = random_envelope(rng, iv.lo, iv.hi);
+    s.score = s.envelope.peak();
+    s.members = {static_cast<layout::CapId>(i)};
+    list.push_back(std::move(s));
+  }
+
+  // Reference: score-sorted greedy keep using only the exact check.
+  std::vector<CandidateSet> ref = list;
+  std::sort(ref.begin(), ref.end(), [](const CandidateSet& a,
+                                       const CandidateSet& b) {
+    return a.score > b.score;
+  });
+  std::vector<CandidateSet> ref_kept;
+  for (CandidateSet& cand : ref) {
+    bool dominated = false;
+    for (const CandidateSet& k : ref_kept) {
+      if (wave::dominates(k.envelope, cand.envelope, iv, tol)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) ref_kept.push_back(std::move(cand));
+  }
+
+  prune_dominated(list, iv, tol, nullptr);
+  ASSERT_EQ(list.size(), ref_kept.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(list[i].members, ref_kept[i].members);
+    EXPECT_TRUE(list[i].envelope.same_points(ref_kept[i].envelope));
+  }
+}
+
+}  // namespace
+}  // namespace tka::topk
