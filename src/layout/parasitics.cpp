@@ -12,13 +12,13 @@ net::NetId CouplingCap::other(net::NetId n) const {
 void Parasitics::add_ground_cap(net::NetId n, double pf) {
   TKA_ASSERT(n < num_nets());
   TKA_ASSERT(pf >= 0.0);
-  ground_cap_pf_[n] += pf;
+  ground_cap_pf_.mut(n) += pf;
 }
 
 void Parasitics::add_wire_res(net::NetId n, double kohm) {
   TKA_ASSERT(n < num_nets());
   TKA_ASSERT(kohm >= 0.0);
-  wire_res_kohm_[n] += kohm;
+  wire_res_kohm_.mut(n) += kohm;
 }
 
 CapId Parasitics::add_coupling(net::NetId a, net::NetId b, double cap_pf) {
@@ -27,8 +27,8 @@ CapId Parasitics::add_coupling(net::NetId a, net::NetId b, double cap_pf) {
   TKA_ASSERT(cap_pf > 0.0);
   const CapId id = static_cast<CapId>(couplings_.size());
   couplings_.push_back({a, b, cap_pf});
-  couplings_of_[a].push_back(id);
-  couplings_of_[b].push_back(id);
+  couplings_of_.mut(a).push_back(id);
+  couplings_of_.mut(b).push_back(id);
   return id;
 }
 
@@ -40,16 +40,16 @@ double Parasitics::total_coupling_cap(net::NetId n) const {
 
 void Parasitics::zero_coupling(CapId id) {
   TKA_ASSERT(id < couplings_.size());
-  couplings_[id].cap_pf = 0.0;
+  couplings_.mut(id).cap_pf = 0.0;
 }
 
 void Parasitics::shield_coupling(CapId id) {
   TKA_ASSERT(id < couplings_.size());
-  CouplingCap& cc = couplings_[id];
+  const CouplingCap cc = couplings_[id];
   if (cc.cap_pf <= 0.0) return;
   add_ground_cap(cc.net_a, cc.cap_pf);
   add_ground_cap(cc.net_b, cc.cap_pf);
-  cc.cap_pf = 0.0;
+  couplings_.mut(id).cap_pf = 0.0;
 }
 
 }  // namespace tka::layout

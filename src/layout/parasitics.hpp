@@ -6,9 +6,11 @@
 #include <cstddef>
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "net/netlist.hpp"
+#include "util/cow_vec.hpp"
 
 namespace tka::layout {
 
@@ -29,8 +31,16 @@ struct CouplingCap {
 };
 
 /// Per-net wire parasitics plus the coupling list.
+///
+/// All storage is chunked copy-on-write (util::CowVec): copying a
+/// Parasitics shares the payload, and zero/shield edits on the copy clone
+/// only the chunks they touch. The coupling adjacency (couplings_of_) is
+/// immutable after extraction, so it is shared across every snapshot of a
+/// design forever.
 class Parasitics {
  public:
+  using CouplingStore = util::CowVec<CouplingCap, 11>;
+
   explicit Parasitics(size_t num_nets)
       : ground_cap_pf_(num_nets, 0.0), wire_res_kohm_(num_nets, 0.0),
         couplings_of_(num_nets) {}
@@ -49,7 +59,7 @@ class Parasitics {
   CapId add_coupling(net::NetId a, net::NetId b, double cap_pf);
 
   const CouplingCap& coupling(CapId id) const { return couplings_.at(id); }
-  const std::vector<CouplingCap>& couplings() const { return couplings_; }
+  const CouplingStore& couplings() const { return couplings_; }
 
   /// Ids of all couplings touching net `n`.
   const std::vector<CapId>& couplings_of(net::NetId n) const {
@@ -68,11 +78,39 @@ class Parasitics {
   /// the noise path disappears but the wire loading stays.
   void shield_coupling(CapId id);
 
+  // --- Storage accounting (snapshot gauges) ---
+
+  /// Calls fn(key, bytes) per COW storage chunk; `key` is identical across
+  /// Parasitics sharing the chunk (see net::Netlist::visit_storage).
+  template <typename Fn>
+  void visit_storage(Fn&& fn) const {
+    auto flat = [&](const void* key, const auto& chunk) {
+      using Elem = typename std::decay_t<decltype(chunk)>::value_type;
+      fn(key, chunk.capacity() * sizeof(Elem));
+    };
+    ground_cap_pf_.visit_chunks(flat);
+    wire_res_kohm_.visit_chunks(flat);
+    couplings_.visit_chunks(flat);
+    couplings_of_.visit_chunks(
+        [&](const void* key, const std::vector<std::vector<CapId>>& chunk) {
+          std::size_t bytes = chunk.capacity() * sizeof(std::vector<CapId>);
+          for (const auto& ids : chunk) bytes += ids.capacity() * sizeof(CapId);
+          fn(key, bytes);
+        });
+  }
+
+  /// Approximate deep heap bytes of the parasitic storage.
+  size_t approx_bytes() const {
+    size_t total = 0;
+    visit_storage([&](const void*, size_t bytes) { total += bytes; });
+    return total;
+  }
+
  private:
-  std::vector<double> ground_cap_pf_;
-  std::vector<double> wire_res_kohm_;
-  std::vector<CouplingCap> couplings_;
-  std::vector<std::vector<CapId>> couplings_of_;
+  util::CowVec<double, 12> ground_cap_pf_;
+  util::CowVec<double, 12> wire_res_kohm_;
+  CouplingStore couplings_;
+  util::CowVec<std::vector<CapId>, 9> couplings_of_;
 };
 
 }  // namespace tka::layout

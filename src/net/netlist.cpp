@@ -37,7 +37,7 @@ NetId Netlist::add_gate(size_t cell_index, const std::vector<NetId>& inputs,
   g.output = out_id;
 
   for (size_t pin = 0; pin < inputs.size(); ++pin) {
-    nets_[inputs[pin]].fanouts.push_back({gid, static_cast<int>(pin)});
+    nets_.mut(inputs[pin]).fanouts.push_back({gid, static_cast<int>(pin)});
   }
   gates_.push_back(std::move(g));
   nets_.push_back(std::move(out));
@@ -46,18 +46,17 @@ NetId Netlist::add_gate(size_t cell_index, const std::vector<NetId>& inputs,
 
 void Netlist::mark_primary_output(NetId net) {
   TKA_CHECK(net < nets_.size(), "mark_primary_output: unknown net");
-  nets_[net].is_primary_output = true;
+  nets_.mut(net).is_primary_output = true;
 }
 
 void Netlist::resize_gate(GateId gate, size_t cell_index) {
   TKA_CHECK(gate < gates_.size(), "resize_gate: unknown gate");
-  Gate& g = gates_[gate];
-  const CellType& from = library_->cell(g.cell_index);
+  const CellType& from = library_->cell(gates_[gate].cell_index);
   const CellType& to = library_->cell(cell_index);
   TKA_CHECK(from.func == to.func && from.num_inputs == to.num_inputs,
             "resize_gate: cell " + to.name + " is not a drive variant of " +
                 from.name);
-  g.cell_index = cell_index;
+  gates_.mut(gate).cell_index = cell_index;
 }
 
 std::vector<NetId> Netlist::primary_inputs() const {

@@ -16,6 +16,7 @@
 
 #include "net/cell_library.hpp"
 #include "util/assert.hpp"
+#include "util/cow_vec.hpp"
 
 namespace tka::net {
 
@@ -52,6 +53,12 @@ struct Net {
 
 /// Mutable netlist under construction; becomes effectively immutable once
 /// analysis starts (analyzers take const references).
+///
+/// Gates and nets live in chunked copy-on-write storage (util::CowVec), so
+/// copying a Netlist structurally shares the element payload and a
+/// post-copy resize_gate clones only the touched chunk. The serving layer's
+/// snapshot chain depends on this: a published snapshot and its successors
+/// share every chunk an edit did not touch.
 class Netlist {
  public:
   explicit Netlist(const CellLibrary& library, std::string name = "top")
@@ -109,11 +116,41 @@ class Netlist {
   /// their cells, the gate graph is acyclic. Throws tka::Error on failure.
   void validate() const;
 
+  // --- Storage accounting (snapshot gauges) ---
+
+  /// Calls fn(key, bytes) per COW storage chunk; `key` is identical across
+  /// Netlists sharing the chunk, so callers can dedup shared storage by
+  /// pointer. `bytes` approximates deep size incl. element-owned heap.
+  template <typename Fn>
+  void visit_storage(Fn&& fn) const {
+    gates_.visit_chunks([&](const void* key, const std::vector<Gate>& chunk) {
+      std::size_t bytes = chunk.capacity() * sizeof(Gate);
+      for (const Gate& g : chunk) {
+        bytes += g.name.capacity() + g.inputs.capacity() * sizeof(NetId);
+      }
+      fn(key, bytes);
+    });
+    nets_.visit_chunks([&](const void* key, const std::vector<Net>& chunk) {
+      std::size_t bytes = chunk.capacity() * sizeof(Net);
+      for (const Net& n : chunk) {
+        bytes += n.name.capacity() + n.fanouts.capacity() * sizeof(PinRef);
+      }
+      fn(key, bytes);
+    });
+  }
+
+  /// Approximate deep heap bytes of the gate/net storage.
+  size_t approx_bytes() const {
+    size_t total = 0;
+    visit_storage([&](const void*, size_t bytes) { total += bytes; });
+    return total;
+  }
+
  private:
   const CellLibrary* library_;
   std::string name_;
-  std::vector<Gate> gates_;
-  std::vector<Net> nets_;
+  util::CowVec<Gate, 8> gates_;
+  util::CowVec<Net, 8> nets_;
 };
 
 }  // namespace tka::net

@@ -183,6 +183,13 @@ std::string Server::handle_list() {
     first = false;
   }
   out += "]";
+  const session::DesignSnapshot::Stats snaps =
+      session::DesignSnapshot::stats();
+  out += str::format(
+      ", \"snapshots\": {\"live\": %zu, \"bytes_logical\": %zu, "
+      "\"bytes_resident\": %zu, \"bytes_shared\": %zu}",
+      snaps.live, snaps.logical_bytes, snaps.resident_bytes,
+      snaps.shared_bytes());
   return out;
 }
 

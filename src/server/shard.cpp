@@ -8,22 +8,6 @@
 #include "util/string_util.hpp"
 
 namespace tka::server {
-namespace {
-
-/// Applies one committed edit to a replica's private design copy — the same
-/// three primitive operations AnalysisSession::what_if performs on its own
-/// copies, so a replica that replayed the log holds exactly the design the
-/// writer session holds.
-void apply_edit(net::Netlist& nl, layout::Parasitics& par,
-                const session::WhatIfEdit& edit) {
-  for (layout::CapId id : edit.zero_couplings) par.zero_coupling(id);
-  for (layout::CapId id : edit.shield_couplings) par.shield_coupling(id);
-  for (const session::WhatIfEdit::Resize& r : edit.resizes) {
-    nl.resize_gate(r.gate, r.cell_index);
-  }
-}
-
-}  // namespace
 
 Shard::Shard(std::string name, std::unique_ptr<net::Netlist> nl,
              layout::Parasitics par, const sta::DelayModelOptions& model_opt,
@@ -32,8 +16,8 @@ Shard::Shard(std::string name, std::unique_ptr<net::Netlist> nl,
       model_opt_(model_opt),
       base_opt_(base_opt),
       opt_(opt),
-      base_nl_(std::move(nl)),
-      base_par_(std::make_unique<layout::Parasitics>(std::move(par))) {
+      head_(session::DesignSnapshot::make_base(std::move(*nl), std::move(par),
+                                               model_opt)) {
   const int n = opt_.workers < 1 ? 1 : opt_.workers;
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -71,11 +55,18 @@ void Shard::join() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  // Workers released their sessions (and snapshot pins) on exit; drop the
+  // warm writer too so only the head snapshot stays live after drain.
+  {
+    std::lock_guard<std::mutex> writer_lock(writer_mu_);
+    writer_.reset();
+  }
+  session::DesignSnapshot::publish_gauges();
 }
 
 std::uint64_t Shard::epoch() const {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return edit_log_.size();
+  return head_->epoch();
 }
 
 std::size_t Shard::queue_depth() const {
@@ -83,89 +74,154 @@ std::size_t Shard::queue_depth() const {
   return queue_.size();
 }
 
+std::shared_ptr<const session::DesignSnapshot> Shard::head() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return head_;
+}
+
 void Shard::worker_loop() {
-  Replica replica;
+  WorkerState ws;
+  std::vector<Job> batch;
   while (true) {
-    Job job;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
       if (queue_.empty()) return;  // draining and drained
-      job = std::move(queue_.front());
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      if (batch.front().req.op != "what_if") {
+        // Coalesce the run of compatible reads queued behind this one.
+        // Stop at the first what_if (or incompatible read) so committed
+        // edits keep their admission-order position.
+        const Request& first = batch.front().req;
+        while (!queue_.empty() && batch.size() < opt_.coalesce_max) {
+          const Request& next = queue_.front().req;
+          if (next.op == "what_if" || next.k != first.k ||
+              next.mode != first.mode) {
+            break;
+          }
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
       obs::registry().gauge("server.queue_depth." + name_)
           .set(static_cast<double>(queue_.size()));
     }
-    serve(replica, job);
+    if (batch.size() > 1) {
+      obs::registry().counter("server.coalesced_batches").add();
+      obs::registry().counter("server.coalesced_reads").add(batch.size() - 1);
+    }
+    serve_batch(ws, batch);
   }
 }
 
-void Shard::serve(Replica& replica, Job& job) {
+void Shard::serve_batch(WorkerState& ws, std::vector<Job>& batch) {
   const std::int64_t start = obs::now_ns();
-  obs::registry().histogram("server.queue_wait_s")
-      .observe(obs::ns_to_seconds(start - job.enqueued_ns));
-
-  std::string response;
-  std::uint64_t epoch = 0;
-  const bool is_what_if = job.req.op == "what_if";
-  try {
-    response = is_what_if ? serve_what_if(job.req, &epoch)
-                          : serve_topk(replica, job.req, &epoch);
-  } catch (const std::exception& e) {
-    response = make_error_response(job.req.id, ErrorCode::kInternal, e.what());
+  obs::Histogram& queue_wait = obs::registry().histogram("server.queue_wait_s");
+  for (const Job& job : batch) {
+    queue_wait.observe(obs::ns_to_seconds(start - job.enqueued_ns));
   }
 
-  const bool ok = response.find("\"ok\": true") != std::string::npos;
-  obs::registry().counter(ok ? "server.responses_ok" : "server.responses_error")
-      .add();
-  obs::registry()
-      .histogram(is_what_if ? "server.latency.whatif_s"
-                            : "server.latency.topk_s")
-      .observe(obs::ns_to_seconds(obs::now_ns() - start));
-  job.respond(std::move(response));
+  const bool is_what_if = batch.front().req.op == "what_if";
+  std::uint64_t epoch = 0;
+  std::string extra;   // shared "result": {...} fragment for topk batches
+  std::string error;   // whole response (what_if / failure), single job
+  try {
+    if (is_what_if) {
+      error = serve_what_if(batch.front().req, &epoch);
+    } else {
+      extra = topk_result_extra(ws, batch.front().req.k,
+                                batch.front().req.mode, &epoch);
+    }
+  } catch (const std::exception& e) {
+    for (Job& job : batch) {
+      obs::registry().counter("server.responses_error").add();
+      job.respond(
+          make_error_response(job.req.id, ErrorCode::kInternal, e.what()));
+    }
+    return;
+  }
+
+  obs::Histogram& latency = obs::registry().histogram(
+      is_what_if ? "server.latency.whatif_s" : "server.latency.topk_s");
+  for (Job& job : batch) {
+    std::string response = is_what_if
+                               ? std::move(error)
+                               : make_ok_response(job.req.id, epoch, extra);
+    const bool ok = response.find("\"ok\": true") != std::string::npos;
+    obs::registry()
+        .counter(ok ? "server.responses_ok" : "server.responses_error")
+        .add();
+    latency.observe(obs::ns_to_seconds(obs::now_ns() - start));
+    job.respond(std::move(response));
+  }
 }
 
-void Shard::sync_replica(Replica& replica) {
-  if (replica.nl == nullptr) {
-    replica.nl = std::make_unique<net::Netlist>(*base_nl_);
-    replica.par = std::make_unique<layout::Parasitics>(*base_par_);
-    replica.applied_epoch = 0;
-  }
+std::string Shard::topk_result_extra(WorkerState& ws, int k, topk::Mode mode,
+                                     std::uint64_t* epoch_out) {
+  // Pin the head and copy the log tail the warm session has not applied.
+  std::shared_ptr<const session::DesignSnapshot> head;
   std::vector<session::WhatIfEdit> pending;
+  const bool warm = ws.session != nullptr && ws.k == k && ws.mode == mode;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    pending.assign(edit_log_.begin() +
-                       static_cast<std::ptrdiff_t>(replica.applied_epoch),
-                   edit_log_.end());
+    head = head_;
+    if (warm && ws.epoch < head_->epoch()) {
+      pending.assign(
+          edit_log_.begin() + static_cast<std::ptrdiff_t>(ws.epoch),
+          edit_log_.end());
+    }
   }
-  for (const session::WhatIfEdit& edit : pending) {
-    apply_edit(*replica.nl, *replica.par, edit);
-  }
-  replica.applied_epoch += pending.size();
-  if (replica.session == nullptr || !pending.empty()) {
-    // The session's private copies are stale after an edit replay; rebuild
-    // it from the replica's design. One-shot sessions skip the candidate
-    // retention that only what_if needs.
-    replica.session = std::make_unique<session::AnalysisSession>(
-        *replica.nl, *replica.par, model_opt_,
-        session::SessionOptions{.retain_candidates = false});
-  }
-}
+  const std::uint64_t epoch = head->epoch();
+  *epoch_out = epoch;
 
-std::string Shard::serve_topk(Replica& replica, const Request& req,
-                              std::uint64_t* epoch_out) {
-  sync_replica(replica);
-  *epoch_out = replica.applied_epoch;
+  std::string extra;
+  if (cache_lookup(epoch, k, mode, &extra)) {
+    obs::registry().counter("server.result_cache_hits").add();
+    return extra;
+  }
+  obs::registry().counter("server.result_cache_misses").add();
+
   topk::TopkOptions opt = base_opt_;
-  opt.k = req.k;
-  opt.mode = req.mode;
+  opt.k = k;
+  opt.mode = mode;
   opt.threads = opt_.query_threads;
-  const topk::TopkResult result = replica.session->run(opt);
-  return make_ok_response(
-      req.id, *epoch_out,
-      "\"result\": " + render_topk_result(replica.session->netlist(),
-                                          replica.session->parasitics(),
-                                          result, req.k));
+
+  topk::TopkResult result;
+  if (warm && ws.epoch == epoch) {
+    // Current design, same options, cache evicted: recompute on the warm
+    // session (run() is a cold query but reuses the session's storage).
+    result = ws.session->run(opt);
+  } else if (warm && !pending.empty() &&
+             pending.size() <= opt_.max_replay_edits) {
+    // Warm rebase: replay the committed tail through what_if. Each replay
+    // is bit-identical to a cold run at that epoch (the session contract),
+    // so the final replay's result *is* the answer at the head epoch.
+    obs::registry().counter("server.session_rebases").add();
+    obs::registry().counter("server.replayed_edits").add(pending.size());
+    for (const session::WhatIfEdit& edit : pending) {
+      result = ws.session->what_if(edit);
+    }
+    ws.epoch = epoch;
+  } else {
+    // No session, k/mode change, or a tail too long to replay: rebuild
+    // from the pinned snapshot. COW copies make this O(chunk table), not
+    // O(design); retained candidates keep what_if replay available.
+    obs::registry().counter("server.session_rebuilds").add();
+    ws.session = std::make_unique<session::AnalysisSession>(
+        head, session::SessionOptions{.retain_candidates = true});
+    result = ws.session->run(opt);
+    ws.epoch = epoch;
+    ws.k = k;
+    ws.mode = mode;
+  }
+
+  extra = "\"result\": " + render_topk_result(ws.session->netlist(),
+                                              ws.session->parasitics(), result,
+                                              k);
+  cache_insert(epoch, k, mode, extra);
+  return extra;
 }
 
 std::string Shard::serve_what_if(const Request& req,
@@ -177,20 +233,11 @@ std::string Shard::serve_what_if(const Request& req,
     return make_error_response(req.id, ErrorCode::kBadRequest, bad);
   }
   if (writer_ == nullptr || writer_k_ != req.k || writer_mode_ != req.mode) {
-    // (Re)base the warm writer on the committed state. Only the writer
-    // appends to the log and only under writer_mu_, so the replayed log is
-    // complete by construction.
-    net::Netlist nl(*base_nl_);
-    layout::Parasitics par(*base_par_);
-    {
-      std::lock_guard<std::mutex> lock(state_mu_);
-      for (const session::WhatIfEdit& edit : edit_log_) {
-        apply_edit(nl, par, edit);
-      }
-    }
+    // (Re)base the warm writer on the head snapshot. Only the writer
+    // advances the head and only under writer_mu_, so its design equals
+    // the committed state by construction.
     writer_ = std::make_unique<session::AnalysisSession>(
-        std::move(nl), std::move(par), model_opt_,
-        session::SessionOptions{.retain_candidates = true});
+        head(), session::SessionOptions{.retain_candidates = true});
     topk::TopkOptions opt = base_opt_;
     opt.k = req.k;
     opt.mode = req.mode;
@@ -202,12 +249,14 @@ std::string Shard::serve_what_if(const Request& req,
   const topk::TopkResult result = writer_->what_if(req.edit);
   std::uint64_t new_epoch = 0;
   {
-    // Commit: the edit becomes visible to replicas only after the writer
-    // applied it successfully.
+    // Commit: publish the COW successor snapshot. It becomes visible to
+    // readers only after the writer applied the edit successfully.
     std::lock_guard<std::mutex> lock(state_mu_);
     edit_log_.push_back(req.edit);
-    new_epoch = edit_log_.size();
+    head_ = head_->apply(req.edit);
+    new_epoch = head_->epoch();
   }
+  obs::registry().counter("server.snapshot_publishes").add();
   *epoch_out = new_epoch;
   return make_ok_response(
       req.id, new_epoch,
@@ -218,9 +267,10 @@ std::string Shard::serve_what_if(const Request& req,
 
 bool Shard::validate_edit(const session::WhatIfEdit& edit,
                           std::string* message) {
-  const std::size_t num_caps = base_par_->num_couplings();
-  const std::size_t num_gates = base_nl_->num_gates();
-  const std::size_t num_cells = base_nl_->library().size();
+  const std::shared_ptr<const session::DesignSnapshot> snap = head();
+  const std::size_t num_caps = snap->parasitics().num_couplings();
+  const std::size_t num_gates = snap->netlist().num_gates();
+  const std::size_t num_cells = snap->netlist().library().size();
   for (layout::CapId id : edit.zero_couplings) {
     if (id >= num_caps) {
       *message = str::format("zero: coupling id %u out of range (%zu caps)",
@@ -248,6 +298,30 @@ bool Shard::validate_edit(const session::WhatIfEdit& edit,
     }
   }
   return true;
+}
+
+bool Shard::cache_lookup(std::uint64_t epoch, int k, topk::Mode mode,
+                         std::string* extra) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (const CacheEntry& e : result_cache_) {
+    if (e.epoch == epoch && e.k == k && e.mode == mode) {
+      *extra = e.extra;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Shard::cache_insert(std::uint64_t epoch, int k, topk::Mode mode,
+                         std::string extra) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (const CacheEntry& e : result_cache_) {
+    if (e.epoch == epoch && e.k == k && e.mode == mode) return;  // racer won
+  }
+  result_cache_.push_back(CacheEntry{epoch, k, mode, std::move(extra)});
+  while (result_cache_.size() > opt_.result_cache_cap) {
+    result_cache_.pop_front();
+  }
 }
 
 }  // namespace tka::server

@@ -1,16 +1,32 @@
 // One design's serving state inside `tka serve`: a bounded query queue, a
-// small worker pool, and the epoch machinery that keeps concurrent queries
+// small worker pool, and the snapshot chain that keeps concurrent queries
 // consistent with committed what-if edits (docs/SERVER.md).
 //
-// Consistency model. The design's committed state is (epoch-0 base design,
-// append-only edit log); epoch E means "the base with the first E edits
-// applied". Each worker owns a private replica of the design and, before
-// serving a query, catches it up to the newest committed epoch by replaying
-// the log suffix it has not yet applied — replicas therefore only ever
-// observe log prefixes, never a half-applied edit. what_if commits are
-// serialized on a single warm writer session (the incremental path); the
-// edit enters the log only after the writer has applied it successfully, so
-// a failed edit leaves the committed state untouched.
+// Consistency model. The design's committed state is an epoch-stamped
+// chain of immutable, refcounted DesignSnapshots plus the append-only edit
+// log that produced it; epoch E means "the base with the first E edits
+// applied". The shard publishes the newest snapshot as `head_`; a worker
+// pins the head (a shared_ptr copy) for the duration of a job instead of
+// owning a private replica. A what_if commit produces the next snapshot by
+// copy-on-write — only the storage chunks the edit touches are cloned, the
+// rest is structurally shared — so the chain costs O(design + edits)
+// memory no matter how many workers serve it.
+//
+// Worker sessions are warm: a session whose last query matched the
+// request's k/mode catches up to the head by replaying the pending edit-
+// log tail through AnalysisSession::what_if (bit-identical to a cold run
+// by the session contract), keeping every cache it built. Only a k/mode
+// change or a long tail falls back to rebuilding from the pinned snapshot
+// — which is itself cheap, because the build takes COW copies.
+//
+// Read coalescing. When a worker pops a topk job it also drains the
+// compatible run of queued topk jobs behind it (same k and mode, stopping
+// at the first what_if to preserve admission order); the batch is answered
+// with one session catch-up and one sweep-graph drain, then each job gets
+// its own response. A small per-shard render cache keyed (epoch, k, mode)
+// short-circuits repeats that were not queued at the same instant. Both
+// are safe under the bit-identity contract: a rendered result is a
+// deterministic function of (epoch, k, mode).
 //
 // Admission control. submit() enqueues or refuses: a full queue is the
 // typed `overloaded` error, cheap to produce and immediate, so a saturated
@@ -31,6 +47,7 @@
 
 #include "server/protocol.hpp"
 #include "session/analysis_session.hpp"
+#include "session/design_snapshot.hpp"
 
 namespace tka::server {
 
@@ -42,6 +59,13 @@ struct ShardOptions {
   /// TopkOptions::threads inside each served query (1 = serial query;
   /// concurrency comes from workers and shards, not intra-query threads).
   int query_threads = 1;
+  /// Longest edit-log tail a warm worker session catches up by what_if
+  /// replay; beyond it the session is rebuilt from the pinned snapshot.
+  std::size_t max_replay_edits = 16;
+  /// Most queued topk reads drained into one coalesced batch.
+  std::size_t coalesce_max = 16;
+  /// Rendered results cached per shard, keyed (epoch, k, mode).
+  std::size_t result_cache_cap = 8;
 };
 
 class Shard {
@@ -66,12 +90,15 @@ class Shard {
 
   /// Stops admission. Queued queries still run to completion.
   void begin_drain();
-  /// Joins the workers after the queue runs dry. Implies begin_drain().
+  /// Joins the workers after the queue runs dry, then releases the warm
+  /// writer so only the head snapshot stays pinned. Implies begin_drain().
   void join();
 
   const std::string& name() const { return name_; }
   std::uint64_t epoch() const;
   std::size_t queue_depth() const;
+  /// The current head snapshot (pins it for the caller).
+  std::shared_ptr<const session::DesignSnapshot> head() const;
 
  private:
   struct Job {
@@ -80,45 +107,62 @@ class Shard {
     std::int64_t enqueued_ns = 0;
   };
 
-  /// A worker's private copy of the design, caught up to `applied_epoch`
-  /// entries of the edit log.
-  struct Replica {
-    std::unique_ptr<net::Netlist> nl;
-    std::unique_ptr<layout::Parasitics> par;
-    std::uint64_t applied_epoch = 0;
+  /// A worker's warm session state. The session holds COW copies of the
+  /// snapshot it was built from and advances past it via what_if replay;
+  /// `epoch`/`k`/`mode` describe the design state and options of its last
+  /// completed query.
+  struct WorkerState {
     std::unique_ptr<session::AnalysisSession> session;
+    std::uint64_t epoch = 0;
+    int k = 0;
+    topk::Mode mode = topk::Mode::kElimination;
   };
 
   void worker_loop();
-  void serve(Replica& replica, Job& job);
-  std::string serve_topk(Replica& replica, const Request& req,
-                         std::uint64_t* epoch_out);
+  /// Serves a coalesced batch of topk jobs (size 1 for what_if).
+  void serve_batch(WorkerState& ws, std::vector<Job>& batch);
+  /// Computes (or fetches from the render cache) the `"result": {...}`
+  /// payload fragment for a topk read at the current head epoch.
+  std::string topk_result_extra(WorkerState& ws, int k, topk::Mode mode,
+                                std::uint64_t* epoch_out);
   std::string serve_what_if(const Request& req, std::uint64_t* epoch_out);
-  /// Catches `replica` up to the newest committed epoch; recreates its
-  /// session when any edit was applied.
-  void sync_replica(Replica& replica);
-  /// Range-checks edit ids against the current design so a bad request
-  /// cannot trip an assertion inside the engine.
+  /// Range-checks edit ids against the design so a bad request cannot trip
+  /// an assertion inside the engine (sizes are epoch-invariant).
   bool validate_edit(const session::WhatIfEdit& edit, std::string* message);
+
+  bool cache_lookup(std::uint64_t epoch, int k, topk::Mode mode,
+                    std::string* extra);
+  void cache_insert(std::uint64_t epoch, int k, topk::Mode mode,
+                    std::string extra);
 
   const std::string name_;
   const sta::DelayModelOptions model_opt_;
   const topk::TopkOptions base_opt_;
   const ShardOptions opt_;
 
-  // Committed state: base design + edit log. state_mu_ guards the log
-  // vector (appends may reallocate); the epoch is also mirrored in an
-  // atomic-free way via log size under the lock.
-  std::unique_ptr<net::Netlist> base_nl_;
-  std::unique_ptr<layout::Parasitics> base_par_;
+  // Committed state: the snapshot chain head plus the edit log that
+  // produced it (head_->epoch() == edit_log_.size(), both under state_mu_;
+  // appends may reallocate the log vector).
   mutable std::mutex state_mu_;
+  std::shared_ptr<const session::DesignSnapshot> head_;
   std::vector<session::WhatIfEdit> edit_log_;
 
-  // The warm incremental writer; all what_if commits serialize on it.
+  // The warm incremental writer; all what_if commits serialize on it. Its
+  // design always equals the head (every commit goes through it).
   std::mutex writer_mu_;
   std::unique_ptr<session::AnalysisSession> writer_;
   int writer_k_ = 0;
   topk::Mode writer_mode_ = topk::Mode::kElimination;
+
+  // Rendered-result cache, keyed (epoch, k, mode); FIFO-bounded.
+  struct CacheEntry {
+    std::uint64_t epoch = 0;
+    int k = 0;
+    topk::Mode mode = topk::Mode::kElimination;
+    std::string extra;
+  };
+  std::mutex cache_mu_;
+  std::deque<CacheEntry> result_cache_;
 
   // Bounded queue.
   mutable std::mutex queue_mu_;

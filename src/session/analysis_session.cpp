@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "session/design_snapshot.hpp"
+
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
 #include "wave/point_store.hpp"
@@ -81,6 +83,14 @@ AnalysisSession::AnalysisSession(net::Netlist nl, layout::Parasitics par,
           *par_own_, *model_own_)),
       sopt_(options) {
   design_ = {nl_own_.get(), par_own_.get(), model_own_.get(), calc_own_.get()};
+}
+
+AnalysisSession::AnalysisSession(
+    std::shared_ptr<const DesignSnapshot> snapshot, SessionOptions options)
+    : AnalysisSession(net::Netlist(snapshot->netlist()),
+                      layout::Parasitics(snapshot->parasitics()),
+                      snapshot->model_options(), options) {
+  snap_ = std::move(snapshot);
 }
 
 AnalysisSession::~AnalysisSession() = default;

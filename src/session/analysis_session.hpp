@@ -32,6 +32,8 @@
 
 namespace tka::session {
 
+class DesignSnapshot;
+
 struct SessionOptions {
   /// Keep every cardinality layer of candidate lists (and the elimination
   /// sweep-0 snapshots) alive between queries — required for what_if().
@@ -56,6 +58,15 @@ class AnalysisSession {
                   const sta::DelayModelOptions& model_options,
                   SessionOptions options = {});
 
+  /// Session over a pinned immutable snapshot: an owning session whose
+  /// private copies are COW — structurally sharing the snapshot's storage
+  /// until a what_if edit detaches a chunk. The snapshot stays alive
+  /// (pinned) for the session's lifetime, so building one is O(chunk
+  /// table), not O(design). This is how shard workers serve queries
+  /// without replica copies.
+  explicit AnalysisSession(std::shared_ptr<const DesignSnapshot> snapshot,
+                           SessionOptions options = {});
+
   ~AnalysisSession();
   AnalysisSession(const AnalysisSession&) = delete;
   AnalysisSession& operator=(const AnalysisSession&) = delete;
@@ -69,6 +80,10 @@ class AnalysisSession {
   topk::TopkResult what_if(const WhatIfEdit& edit);
 
   bool primed() const { return primed_; }
+  /// The pinned snapshot (null unless snapshot-constructed).
+  const std::shared_ptr<const DesignSnapshot>& snapshot() const {
+    return snap_;
+  }
   const net::Netlist& netlist() const { return *design_.nl; }
   const layout::Parasitics& parasitics() const { return *design_.par; }
   const topk::TopkOptions& options() const { return opt_; }
@@ -88,6 +103,9 @@ class AnalysisSession {
   std::unique_ptr<layout::Parasitics> par_own_;
   std::unique_ptr<sta::DelayModel> model_own_;
   std::unique_ptr<noise::CouplingCalculator> calc_own_;
+  /// Keeps the source snapshot alive while the owning copies share its
+  /// storage chunks (null for non-snapshot sessions).
+  std::shared_ptr<const DesignSnapshot> snap_;
 
   topk::stages::DesignRef design_;
   SessionOptions sopt_;

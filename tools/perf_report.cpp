@@ -182,6 +182,50 @@ void report_bench(const std::string& path, double wait_threshold_pct) {
     std::printf("(no lane records — obs-disabled build or pre-telemetry "
                 "baseline)\n");
   }
+
+  // Serving section: cases that carry service telemetry (the serve_load
+  // suite). Splits a request's life into queue wait vs execution and shows
+  // what the snapshot chain costs vs shares. Pre-snapshot BENCH files lack
+  // the split/snapshot keys and get "-" columns; files with no service
+  // telemetry at all simply don't get the section.
+  bool serving_header = false;
+  for (const Value& b : benchmarks->array) {
+    const Value* telemetry = b.find("telemetry");
+    if (telemetry == nullptr || !telemetry->is_object() ||
+        telemetry->find("qps") == nullptr) {
+      continue;
+    }
+    if (!serving_header) {
+      serving_header = true;
+      std::printf("serving:\n");
+      std::printf("  %-16s %10s %9s %9s %11s %10s %12s\n", "case", "qps",
+                  "p50(ms)", "p99(ms)", "qwait50(ms)", "exec50(ms)",
+                  "shared(KiB)");
+    }
+    const Value* name = b.find("name");
+    const bool has_split = telemetry->find("queue_wait_p50_ms") != nullptr;
+    const bool has_snap = telemetry->find("snapshot_bytes_shared") != nullptr;
+    std::printf("  %-16s %10.1f %9.3f %9.3f",
+                name != nullptr && name->is_string() ? name->string.c_str()
+                                                     : "?",
+                telemetry->number_or("qps", 0.0),
+                telemetry->number_or("p50_ms", 0.0),
+                telemetry->number_or("p99_ms", 0.0));
+    if (has_split) {
+      std::printf(" %11.4f %10.4f",
+                  telemetry->number_or("queue_wait_p50_ms", 0.0),
+                  telemetry->number_or("exec_p50_ms", 0.0));
+    } else {
+      std::printf(" %11s %10s", "-", "-");
+    }
+    if (has_snap) {
+      std::printf(" %12.1f",
+                  telemetry->number_or("snapshot_bytes_shared", 0.0) / 1024.0);
+    } else {
+      std::printf(" %12s", "-");
+    }
+    std::printf("\n");
+  }
   std::printf("\n");
 }
 

@@ -4,7 +4,7 @@
 //   tka_load (--port N [--host H] | --unix PATH) [--design NAME]
 //            [--clients N] [--duration S | --requests N] [--rate QPS]
 //            [-k N] [--mode add|elim] [--whatif-every N] [--whatif-caps N]
-//            [--out F.json] [--quiet]
+//            [--reconnect-every N] [--out F.json] [--quiet]
 //
 // Two driving disciplines:
 //   - Closed loop (default): each client connection issues back-to-back
@@ -19,6 +19,15 @@
 // Every Nth request (--whatif-every) is a what_if commit (a shield edit on
 // a rotating coupling id) instead of a read-only topk, exercising the
 // epoch/commit path under concurrency. Default 0 = topk only.
+//
+// Connections are pooled: each client stream opens one connection up front
+// and reuses it for every request, so the measured window contains no
+// handshakes. Connect times are measured and reported separately (stdout
+// and the JSON's connect_s block) — request latency percentiles never mix
+// in handshake cost. --reconnect-every N tears the connection down every N
+// requests to quantify that handshake cost explicitly; a stream whose
+// connection dies mid-run reconnects once (counted under reconnects)
+// before giving up.
 //
 // Output: human summary on stdout plus an optional machine JSON (--out)
 // with qps, latency percentiles and per-error-code counts. Exits nonzero
@@ -60,6 +69,7 @@ struct Args {
   std::string mode = "elim";
   long whatif_every = 0;
   int whatif_caps = 8;
+  long reconnect_every = 0;  // 0 = one pooled connection per stream
   std::string out_path;
   bool quiet = false;
 };
@@ -69,8 +79,8 @@ struct Args {
       stderr,
       "usage: tka_load (--port N [--host H] | --unix PATH) [--design NAME] "
       "[--clients N] [--duration S | --requests N] [--rate QPS] [-k N] "
-      "[--mode add|elim] [--whatif-every N] [--whatif-caps N] [--out F.json] "
-      "[--quiet]\n");
+      "[--mode add|elim] [--whatif-every N] [--whatif-caps N] "
+      "[--reconnect-every N] [--out F.json] [--quiet]\n");
   std::exit(2);
 }
 
@@ -94,12 +104,16 @@ Args parse_args(int argc, char** argv) {
     else if (a == "--mode") args.mode = next();
     else if (a == "--whatif-every") args.whatif_every = std::atol(next().c_str());
     else if (a == "--whatif-caps") args.whatif_caps = std::atoi(next().c_str());
+    else if (a == "--reconnect-every") args.reconnect_every = std::atol(next().c_str());
     else if (a == "--out") args.out_path = next();
     else if (a == "--quiet") args.quiet = true;
     else usage();
   }
   if ((args.port < 0) == args.unix_path.empty()) usage();  // exactly one
-  if (args.clients < 1 || args.k < 1 || args.whatif_caps < 1) usage();
+  if (args.clients < 1 || args.k < 1 || args.whatif_caps < 1 ||
+      args.reconnect_every < 0) {
+    usage();
+  }
   if (args.mode != "add" && args.mode != "elim") usage();
   return args;
 }
@@ -125,9 +139,11 @@ std::string make_query(const Args& args, long seq) {
 
 struct WorkerStats {
   std::vector<double> latencies_s;
+  std::vector<double> connects_s;  // handshake times, kept out of latencies
   long ok = 0;
   std::map<std::string, long> errors;  // protocol error code -> count
   long transport_failures = 0;
+  long reconnects = 0;
 };
 
 /// Error code of a response payload ("" when ok). Malformed payloads count
@@ -162,15 +178,28 @@ double percentile(std::vector<double>& sorted, double q) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
 
+  std::vector<WorkerStats> stats(static_cast<std::size_t>(args.clients));
+
+  // Timed (re)connect of one pooled stream; handshake cost lands in
+  // connects_s, never in the request latency percentiles.
+  const auto connect_client = [&args](server::Client& c, WorkerStats& st,
+                                      std::string* error) {
+    c.close();
+    const std::int64_t t = obs::now_ns();
+    const bool ok = args.unix_path.empty()
+                        ? c.connect_tcp(args.host, args.port, error)
+                        : c.connect_unix(args.unix_path, error);
+    if (ok) st.connects_s.push_back(obs::ns_to_seconds(obs::now_ns() - t));
+    return ok;
+  };
+
   // Connect every client up front so a bad address fails fast and the
   // measured window contains no handshakes.
   std::vector<server::Client> clients(static_cast<std::size_t>(args.clients));
-  for (auto& c : clients) {
+  for (int w = 0; w < args.clients; ++w) {
     std::string error;
-    const bool ok = args.unix_path.empty()
-                        ? c.connect_tcp(args.host, args.port, &error)
-                        : c.connect_unix(args.unix_path, &error);
-    if (!ok) {
+    if (!connect_client(clients[static_cast<std::size_t>(w)],
+                        stats[static_cast<std::size_t>(w)], &error)) {
       std::fprintf(stderr, "tka_load: connect: %s\n", error.c_str());
       return 1;
     }
@@ -183,13 +212,13 @@ int main(int argc, char** argv) {
   const long budget = args.requests > 0 ? args.requests
                                         : std::numeric_limits<long>::max();
 
-  std::vector<WorkerStats> stats(static_cast<std::size_t>(args.clients));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(args.clients));
   for (int w = 0; w < args.clients; ++w) {
     threads.emplace_back([&, w] {
       server::Client& client = clients[static_cast<std::size_t>(w)];
       WorkerStats& st = stats[static_cast<std::size_t>(w)];
+      long stream_requests = 0;
       while (true) {
         const long seq = ticket.fetch_add(1, std::memory_order_relaxed);
         if (seq >= budget) return;
@@ -205,11 +234,26 @@ int main(int argc, char** argv) {
         } else if (scheduled >= deadline) {
           return;
         }
+        if (args.reconnect_every > 0 && stream_requests > 0 &&
+            stream_requests % args.reconnect_every == 0) {
+          std::string error;
+          if (!connect_client(client, st, &error)) {
+            ++st.transport_failures;
+            return;
+          }
+        }
+        ++stream_requests;
         const std::string req = make_query(args, seq);
         std::string resp, error;
         if (!client.call(req, &resp, &error)) {
-          ++st.transport_failures;
-          return;  // this connection is dead; let the others finish
+          // The connection died mid-run; reconnect once and retry the
+          // request before declaring the stream dead.
+          ++st.reconnects;
+          if (!connect_client(client, st, &error) ||
+              !client.call(req, &resp, &error)) {
+            ++st.transport_failures;
+            return;  // this stream is dead; let the others finish
+          }
         }
         st.latencies_s.push_back(
             obs::ns_to_seconds(obs::now_ns() - scheduled));
@@ -223,16 +267,20 @@ int main(int argc, char** argv) {
   const double elapsed_s = obs::ns_to_seconds(obs::now_ns() - t0);
 
   // Merge.
-  std::vector<double> lat;
-  long ok = 0, transport = 0;
+  std::vector<double> lat, connects;
+  long ok = 0, transport = 0, reconnects = 0;
   std::map<std::string, long> errors;
   for (const WorkerStats& st : stats) {
     lat.insert(lat.end(), st.latencies_s.begin(), st.latencies_s.end());
+    connects.insert(connects.end(), st.connects_s.begin(),
+                    st.connects_s.end());
     ok += st.ok;
     transport += st.transport_failures;
+    reconnects += st.reconnects;
     for (const auto& [code, n] : st.errors) errors[code] += n;
   }
   std::sort(lat.begin(), lat.end());
+  std::sort(connects.begin(), connects.end());
   const long completed = static_cast<long>(lat.size());
   const double qps =
       elapsed_s > 0.0 ? static_cast<double>(completed) / elapsed_s : 0.0;
@@ -240,6 +288,8 @@ int main(int argc, char** argv) {
   const double p90 = percentile(lat, 0.90);
   const double p99 = percentile(lat, 0.99);
   const double max = lat.empty() ? 0.0 : lat.back();
+  const double conn_p50 = percentile(connects, 0.50);
+  const double conn_max = connects.empty() ? 0.0 : connects.back();
 
   if (!args.quiet) {
     std::printf("clients %d  %s  elapsed %.2fs\n", args.clients,
@@ -252,6 +302,9 @@ int main(int argc, char** argv) {
     std::printf("throughput %.2f qps\n", qps);
     std::printf("latency p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms\n",
                 p50 * 1e3, p90 * 1e3, p99 * 1e3, max * 1e3);
+    std::printf("connects %zu (p50 %.2fms max %.2fms, reconnects %ld) — "
+                "excluded from latency\n",
+                connects.size(), conn_p50 * 1e3, conn_max * 1e3, reconnects);
     for (const auto& [code, n] : errors) {
       std::printf("  error %-16s %ld\n", code.c_str(), n);
     }
@@ -268,9 +321,11 @@ int main(int argc, char** argv) {
         "{\"clients\": %d, \"rate_qps\": %.17g, \"elapsed_s\": %.17g, "
         "\"completed\": %ld, \"ok\": %ld, \"transport_failures\": %ld, "
         "\"qps\": %.17g, \"latency_s\": {\"p50\": %.17g, \"p90\": %.17g, "
-        "\"p99\": %.17g, \"max\": %.17g}, \"errors\": {",
+        "\"p99\": %.17g, \"max\": %.17g}, \"connect_s\": {\"count\": %zu, "
+        "\"p50\": %.17g, \"max\": %.17g}, \"reconnects\": %ld, "
+        "\"errors\": {",
         args.clients, args.rate, elapsed_s, completed, ok, transport, qps,
-        p50, p90, p99, max);
+        p50, p90, p99, max, connects.size(), conn_p50, conn_max, reconnects);
     bool first = true;
     for (const auto& [code, n] : errors) {
       out << str::format("%s\"%s\": %ld", first ? "" : ", ", code.c_str(), n);
